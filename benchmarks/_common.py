@@ -1,0 +1,10 @@
+"""Helpers shared by the benchmark files (kept import-light so pytest's
+path-based import of sibling modules works without packaging tricks)."""
+
+from __future__ import annotations
+
+
+def emit(result) -> None:
+    """Print a rendered table below the benchmark output."""
+    print()
+    print(result.render())

@@ -1,0 +1,27 @@
+"""Figure 6 — manager crash-recovery time vs instance count.
+
+Extension figure: an operational cost of the improvement.  Recovery
+re-reads every instance's state from storage; the improved path also
+re-earns the sealer root from the hardware TPM and decrypts each state
+blob.
+
+Expected shape: linear in the instance count in both regimes (storage I/O
+dominates), with the security machinery adding well under 1%.
+"""
+
+from _common import emit
+from repro.harness.experiments import run_recovery_sweep
+
+
+def test_fig6_recovery(run_once):
+    result = run_once(run_recovery_sweep, instance_counts=(1, 2, 4, 8))
+    emit(result)
+    rows = result.rows()
+    # Linear: doubling instances roughly doubles recovery time.
+    for (n1, b1, i1), (n2, b2, i2) in zip(rows, rows[1:]):
+        assert 1.7 < b2 / b1 < 2.3
+        assert 1.7 < i2 / i1 < 2.3
+    # Improved within 1% of baseline at every population.
+    for _n, baseline_ms, improved_ms in rows:
+        assert improved_ms > baseline_ms
+        assert (improved_ms - baseline_ms) / baseline_ms < 0.01

@@ -1,0 +1,26 @@
+"""Shared benchmark plumbing.
+
+Each benchmark file regenerates one table or figure of the evaluation.
+Experiments are deterministic virtual-time simulations, so wall-clock
+numbers from pytest-benchmark measure *harness* speed; the scientific
+output is the printed table, which ``-s`` (or the captured stdout summary)
+shows and which EXPERIMENTS.md records.
+
+Experiments run once per session (they are not micro-kernels to be looped),
+so every benchmark uses ``pedantic`` with one round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Least privilege with policy profiles.
+
+A consolidated host runs three guests with different needs:
+
+* ``db-vault``   — sealed-storage profile: unseals its database key, but
+  cannot even extend a PCR;
+* ``edge-node``  — attestation-only profile: quotes and measures, but
+  cannot define NV or mint keys;
+* ``dashboard``  — monitor profile: read-only.
+
+Each guest then steps outside its profile and the reference monitor turns
+the request away — with the denial on the audit record.
+
+Usage:  python examples/least_privilege.py
+"""
+
+import hashlib
+
+from repro import AccessMode, build_platform, fresh_timing_context
+from repro.core.profiles import (
+    PROFILE_ATTESTATION_ONLY,
+    PROFILE_MONITOR,
+    PROFILE_SEALED_STORAGE,
+)
+from repro.util.errors import TpmError
+
+OWNER = b"lp-owner-auth!!!!!!!"
+SRK = b"lp-srk-auth!!!!!!!!!"
+DATA = b"lp-data-auth!!!!!!!!"
+
+
+def attempt(label: str, fn) -> None:
+    try:
+        fn()
+        print(f"  {label}: ALLOWED")
+    except TpmError as exc:
+        print(f"  {label}: DENIED (code {exc.code:#x})")
+
+
+def main() -> None:
+    fresh_timing_context()
+    platform = build_platform(AccessMode.IMPROVED, seed=55)
+
+    # The vault is provisioned by the operator with full rights first, then
+    # redeployed under the narrow profile (its sealed blob survives).
+    provisioning = platform.add_guest("db-vault-setup")
+    ek = provisioning.client.read_pubek()
+    provisioning.client.take_ownership(OWNER, SRK, ek)
+    from repro.tpm.constants import TPM_KH_SRK
+
+    sealed = provisioning.client.seal(TPM_KH_SRK, SRK, b"db-key-material", DATA)
+    platform.manager.save_instance(provisioning.instance_id)
+    print("vault provisioned and state persisted\n")
+
+    edge = platform.add_guest("edge-node", profile=PROFILE_ATTESTATION_ONLY)
+    dashboard = platform.add_guest("dashboard", profile=PROFILE_MONITOR)
+
+    print("edge-node (attestation-only):")
+    attempt("extend PCR 12", lambda: edge.client.extend(
+        12, hashlib.sha1(b"edge-app").digest()))
+    attempt("read PCR 12", lambda: edge.client.pcr_read(12))
+    from repro.tpm.nvram import NV_PER_AUTHWRITE
+
+    attempt("define NV area", lambda: edge.client.nv_define(
+        OWNER, 0x10, 8, NV_PER_AUTHWRITE, b"N" * 20))
+
+    print("\ndashboard (monitor, read-only):")
+    attempt("read PCR 0", lambda: dashboard.client.pcr_read(0))
+    attempt("get random", lambda: dashboard.client.get_random(8))
+    attempt("extend PCR 12", lambda: dashboard.client.extend(
+        12, b"\x01" * 20))
+
+    print("\nvault (sealed-storage) keeps working inside its profile:")
+    vault_session = platform.guests["db-vault-setup"]
+    recovered = vault_session.client.unseal(TPM_KH_SRK, SRK, sealed, DATA)
+    print(f"  unseal: ALLOWED -> {recovered!r}")
+
+    denials = platform.audit.denials()
+    print(f"\naudit log holds {len(denials)} denials (chain intact: "
+          f"{platform.audit.verify_chain()}):")
+    for record in denials:
+        print(f"  #{record.sequence:<3d} {record.operation:18s} "
+              f"{record.reason[:60]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Sealed-storage web server: the application-level cost of protection.
+
+A web server keeps its TLS private key sealed in its vTPM and unseals a
+working copy on session-cache misses.  This example serves the same
+request stream against three deployments and reports requests/s:
+
+* ``no-vtpm``  — key on disk in the clear (fast, and the thing the paper
+  says you must not do on a multi-tenant host),
+* ``baseline`` — stock Xen vTPM,
+* ``improved`` — vTPM behind the access-control layer.
+
+Usage:  python examples/sealed_storage_webserver.py [requests]
+"""
+
+import sys
+
+from repro import AccessMode, build_platform, fresh_timing_context
+from repro.crypto.random_source import RandomSource
+from repro.metrics.tables import format_table
+from repro.workloads.mixes import GuestSession
+from repro.workloads.webapp import SealedStorageWebApp
+
+
+def main() -> None:
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    rows = []
+    reference = None
+    for deployment in ("no-vtpm", "baseline", "improved"):
+        fresh_timing_context()
+        session = None
+        if deployment != "no-vtpm":
+            mode = AccessMode.IMPROVED if deployment == "improved" else AccessMode.BASELINE
+            platform = build_platform(mode, seed=5)
+            guest = platform.add_guest("webserver")
+            session = GuestSession(guest, platform.rng.fork("web-session"))
+        app = SealedStorageWebApp(
+            RandomSource(5), session, deployment, cache_hit_ratio=0.9
+        )
+        result = app.serve(requests)
+        if reference is None:
+            reference = result.requests_per_sec
+        rows.append(
+            (
+                deployment,
+                result.requests_per_sec,
+                result.misses,
+                (1 - result.requests_per_sec / reference) * 100.0,
+            )
+        )
+    print(
+        format_table(
+            ["deployment", "requests/s", "cache misses", "slowdown (%)"],
+            rows,
+            title=f"Sealed-storage web server, {requests} requests, 90% cache hits",
+        )
+    )
+    print(
+        "\nTakeaway: sealing the key in the vTPM costs a fraction of a percent\n"
+        "at the application level, and the access-control layer adds almost\n"
+        "nothing on top — protection is effectively free for this workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Improvement for vTPM Access Control on Xen"
+(Morikawa, Ebara, Onishi, Nakano — ICPPW 2010, DOI 10.1109/ICPPW.2010.44).
+
+A deterministic, simulation-backed implementation of the Xen vTPM stack —
+TPM 1.2 emulator, Xen-like hypervisor substrate, vTPM manager with split
+drivers, live migration — plus the paper's contribution: a reference-
+monitor access-control layer (measured identity, per-command policy,
+protected memory, sealed storage, audit) that closes the privileged
+memory/CPU-dump attack channel.
+
+Quickstart::
+
+    from repro import AccessMode, build_platform
+
+    platform = build_platform(AccessMode.IMPROVED)
+    guest = platform.add_guest("web01")
+    ek = guest.client.read_pubek()
+    guest.client.take_ownership(b"o" * 20, b"s" * 20, ek)
+    guest.client.extend(10, b"\xaa" * 20)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+evaluation harness (one file per table/figure; index in DESIGN.md).
+"""
+
+from repro.core.config import AccessControlConfig, AccessMode
+from repro.harness.builder import (
+    GuestHandle,
+    Platform,
+    build_platform,
+    fresh_timing_context,
+)
+from repro.tpm.client import TpmClient
+from repro.tpm.device import TpmDevice
+from repro.util.errors import (
+    AccessControlError,
+    AccessDenied,
+    MarshalError,
+    ReproError,
+    SimulationError,
+    TpmError,
+    VtpmError,
+    XenError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessControlConfig",
+    "AccessMode",
+    "GuestHandle",
+    "Platform",
+    "build_platform",
+    "fresh_timing_context",
+    "TpmClient",
+    "TpmDevice",
+    "AccessControlError",
+    "AccessDenied",
+    "MarshalError",
+    "ReproError",
+    "SimulationError",
+    "TpmError",
+    "VtpmError",
+    "XenError",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Attack toolkit: the adversary from the paper's abstract, made concrete.
+
+Each attack models a capability of a privileged (Dom0-level) or co-resident
+attacker against the vTPM subsystem:
+
+* :mod:`~repro.attacks.memdump` — "memory dump software": foreign-map
+  the manager's pages and scan for key material.
+* :mod:`~repro.attacks.cpudump` — "CPU dump software": snapshot vCPU
+  registers while vTPM crypto is in flight.
+* :mod:`~repro.attacks.rogue` — re-bind a back-end to a victim's instance.
+* :mod:`~repro.attacks.replay` — resend a captured authorized command.
+* :mod:`~repro.attacks.theft` — steal state files at rest or migration
+  traffic in flight; try restoring loot on a foreign platform.
+* :mod:`~repro.attacks.scenarios` — run the whole matrix against a
+  platform and report success/blocked per attack (Table 2).
+"""
+
+from repro.attacks.scenarios import AttackOutcome, AttackReport, run_attack_matrix
+from repro.attacks.memdump import MemoryDumpAttack, secrets_found
+from repro.attacks.cpudump import CpuDumpAttack
+from repro.attacks.rogue import RogueRebindAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.theft import (
+    MigrationInterceptAttack,
+    StateFileTheftAttack,
+    ForeignRestoreAttack,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "AttackReport",
+    "run_attack_matrix",
+    "MemoryDumpAttack",
+    "secrets_found",
+    "CpuDumpAttack",
+    "RogueRebindAttack",
+    "ReplayAttack",
+    "MigrationInterceptAttack",
+    "StateFileTheftAttack",
+    "ForeignRestoreAttack",
+]

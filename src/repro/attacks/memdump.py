@@ -1,0 +1,54 @@
+"""Memory-dump attack: ``xm dump-core`` against the vTPM manager domain.
+
+The attacker holds Dom0 root (the paper's Amazon scenario: a malicious or
+compromised administrator).  It snapshots every mappable frame of the
+manager domain and greps the image for the victim instance's secret
+material — EK/SRK private halves, owner auth, NV payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.harness.builder import Platform
+from repro.xen.hypercall import HypercallInterface
+
+#: ignore secrets shorter than this when scanning (avoids trivial false
+#: positives on tiny byte strings)
+MIN_SECRET_LEN = 16
+
+
+def secrets_found(image: bytes, secrets: Iterable[bytes]) -> List[bytes]:
+    """Which of ``secrets`` appear verbatim in ``image``."""
+    return [s for s in secrets if len(s) >= MIN_SECRET_LEN and s in image]
+
+
+@dataclass
+class MemoryDumpAttack:
+    """Dump the manager domain and hunt for a victim instance's secrets."""
+
+    platform: Platform
+    attacker_domid: int = 0  # Dom0
+
+    name = "mem-dump-manager"
+    description = "Dom0 dumps vTPM manager memory and scans for key material"
+
+    def run(self, victim_instance_id: int) -> tuple[bool, str]:
+        """Returns (succeeded, detail)."""
+        hypercalls = HypercallInterface(self.platform.xen, self.attacker_domid)
+        manager_domid = self.platform.manager.manager_domid
+        image_pages = hypercalls.dump_domain_memory(manager_domid)
+        image = b"".join(image_pages.values())
+        victim = self.platform.manager.instance(victim_instance_id)
+        secrets = victim.device.state.secret_material()
+        hits = secrets_found(image, secrets)
+        if hits:
+            return True, (
+                f"dump of dom{manager_domid} ({len(image_pages)} pages) "
+                f"contained {len(hits)}/{len(secrets)} secret strings"
+            )
+        return False, (
+            f"dump of dom{manager_domid} yielded {len(image_pages)} pages; "
+            f"no vTPM secrets present"
+        )

@@ -1,0 +1,55 @@
+"""Rogue re-binding attack: point a back-end at someone else's vTPM.
+
+In stock Xen the instance a front-end talks to is *backend configuration*
+(a number in XenStore that Dom0 can edit at will).  A compromised Dom0 —
+or an attacker VM colluding with a tampered backend — re-binds its
+connection to the victim's instance number and then drives the victim's
+vTPM directly: reading its PCRs (breaks privacy) and extending them
+(breaks every future attestation and unseal).
+
+TPM 1.2 does **not** authenticate PCRRead/Extend, so the TPM itself cannot
+stop this; only the manager-level binding check (measured identity vs
+instance owner) can — which is the heart of the paper's improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.builder import GuestHandle, Platform
+from repro.util.errors import TpmError
+
+
+@dataclass
+class RogueRebindAttack:
+    """Attacker guest re-binds to the victim instance and drives it."""
+
+    platform: Platform
+    attacker: GuestHandle
+    victim: GuestHandle
+
+    name = "rogue-rebind"
+    description = "back-end re-bound to victim instance; attacker drives victim vTPM"
+
+    def run(self) -> tuple[bool, str]:
+        original = self.attacker.backend.instance_id
+        victim_pcr_before = self.victim.client.pcr_read(10)
+        self.attacker.backend.rebind(self.victim.instance_id)
+        try:
+            # Privacy: read victim platform state through the hijacked ring.
+            leaked = self.attacker.client.pcr_read(10)
+            # Integrity: corrupt victim PCR 10 so its future quotes/unseals break.
+            self.attacker.client.extend(10, b"\xee" * 20)
+        except TpmError as exc:
+            return False, (
+                f"manager denied the re-bound connection (code {exc.code:#x})"
+            )
+        finally:
+            self.attacker.backend.rebind(original)
+        victim_pcr_after = self.victim.client.pcr_read(10)
+        if leaked == victim_pcr_before and victim_pcr_after != victim_pcr_before:
+            return True, (
+                "attacker read victim PCR10 and corrupted it through the "
+                "re-bound back-end"
+            )
+        return False, "re-bound commands executed but had no observable effect"

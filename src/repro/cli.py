@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``demo`` — the quickstart flow (provision, measure, seal, quote).
+* ``attack-matrix`` — run every attack against one or both regimes.
+* ``experiment <id>`` — regenerate one table/figure (``table1``,
+  ``fig1`` … ``table4``, ``fig5``, or ``all``); ``--quick`` shrinks sizes.
+* ``trace`` — emit a synthetic Poisson workload trace to stdout.
+* ``report`` — run the full evaluation and print a markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Sequence
+
+from repro.core.config import AccessMode
+from repro.harness.builder import build_platform, fresh_timing_context
+
+EXPERIMENTS: Dict[str, Callable] = {}
+
+
+def _register_experiments() -> None:
+    from repro.harness import experiments as ex
+    from repro.harness.loadtest import run_latency_under_load
+
+    EXPERIMENTS.update(
+        {
+            "table1": lambda quick: ex.run_command_latency(reps=10 if quick else 50),
+            "fig1": lambda quick: ex.run_throughput_scaling(
+                vm_counts=(1, 2, 4) if quick else (1, 2, 4, 8, 16),
+                ops_per_vm=10 if quick else 40,
+            ),
+            "table2": lambda quick: ex.run_attack_matrix_experiment(),
+            "fig2": lambda quick: ex.run_instance_creation(
+                populations=(0, 2, 4) if quick else (0, 1, 2, 4, 8, 16, 32)
+            ),
+            "fig3": lambda quick: ex.run_migration_sweep(
+                nv_payload_kib=(0, 16) if quick else (0, 8, 32, 128)
+            ),
+            "table3": lambda quick: ex.run_policy_scaling(
+                rule_counts=(10, 1000) if quick else (10, 100, 1_000, 10_000),
+                lookups=300 if quick else 2_000,
+            ),
+            "fig4": lambda quick: ex.run_webapp_benchmark(
+                requests=300 if quick else 2_000
+            ),
+            "table4": lambda quick: ex.run_ablation(ops=40 if quick else 150),
+            "fig6": lambda quick: ex.run_recovery_sweep(
+                instance_counts=(1, 2) if quick else (1, 2, 4, 8)
+            ),
+            "fig5": lambda quick: run_latency_under_load(
+                offered_rates=(5_000, 25_000) if quick
+                else (5_000, 15_000, 25_000, 32_000),
+                guests=3 if quick else 4,
+                duration_s=0.2 if quick else 0.35,
+            ),
+        }
+    )
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from repro.tpm.constants import TPM_KH_SRK
+
+    fresh_timing_context()
+    mode = AccessMode(args.mode)
+    platform = build_platform(mode, seed=args.seed)
+    guest = platform.add_guest("demo-vm")
+    client = guest.client
+    ek = client.read_pubek()
+    client.take_ownership(b"demo-owner-auth!!!!!", b"demo-srk-auth!!!!!!!", ek)
+    client.extend(10, hashlib.sha1(b"demo-app").digest())
+    sealed = client.seal(
+        TPM_KH_SRK, b"demo-srk-auth!!!!!!!", b"demo secret", b"demo-data-auth!!!!!!"
+    )
+    recovered = client.unseal(
+        TPM_KH_SRK, b"demo-srk-auth!!!!!!!", sealed, b"demo-data-auth!!!!!!"
+    )
+    print(f"[{mode.value}] platform up, vTPM provisioned")
+    print(f"  PCR10 = {client.pcr_read(10).hex()}")
+    print(f"  sealed {len(sealed)} bytes, unsealed -> {recovered!r}")
+    from repro.sim.timing import get_context
+
+    print(f"  virtual time: {get_context().clock.now_ms:.1f} ms")
+    return 0
+
+
+def cmd_attack_matrix(args: argparse.Namespace) -> int:
+    from repro.attacks.scenarios import matrix_rows, run_attack_matrix
+    from repro.metrics.tables import format_table
+
+    fresh_timing_context()
+    modes = (
+        [AccessMode.BASELINE, AccessMode.IMPROVED]
+        if args.mode == "both"
+        else [AccessMode(args.mode)]
+    )
+    results = {m: run_attack_matrix(m, seed=args.seed) for m in modes}
+    if len(modes) == 2:
+        rows = matrix_rows(results[AccessMode.BASELINE], results[AccessMode.IMPROVED])
+        print(format_table(["attack", "stock Xen vTPM", "improved"], rows,
+                           title="Attack outcomes"))
+    else:
+        for report in results[modes[0]]:
+            print(f"{report.attack:22s} {report.outcome.value:10s} {report.detail}")
+    if args.verbose and len(modes) == 2:
+        print()
+        for reports in results.values():
+            for report in reports:
+                print(f"[{report.mode.value:8s}] {report.attack:22s} "
+                      f"{report.outcome.value:9s} {report.detail}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    _register_experiments()
+    names = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}; "
+              f"choose from {sorted(EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    for name in names:
+        result = EXPERIMENTS[name](args.quick)
+        print(result.render())
+        print()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.crypto.random_source import RandomSource
+    from repro.workloads.mixes import (
+        MIX_ATTESTATION,
+        MIX_MEASUREMENT,
+        MIX_MIXED,
+        MIX_SEALED_STORAGE,
+    )
+    from repro.workloads.traces import SyntheticTrace
+
+    fresh_timing_context()
+    mixes = {
+        m.name: m
+        for m in (MIX_MEASUREMENT, MIX_SEALED_STORAGE, MIX_ATTESTATION, MIX_MIXED)
+    }
+    trace = SyntheticTrace.poisson(
+        RandomSource(args.seed),
+        guests=args.guests,
+        rate_per_guest_per_sec=args.rate,
+        duration_s=args.duration,
+        mix=mixes[args.mix],
+    )
+    sys.stdout.write(trace.dumps())
+    return 0
+
+
+def cmd_xm(args: argparse.Namespace) -> int:
+    from repro.xen import tools
+
+    fresh_timing_context()
+    platform = build_platform(AccessMode(args.mode), seed=args.seed)
+    for i in range(args.guests):
+        platform.add_guest(f"guest{i:02d}")
+    hypercalls = platform.dom0_hypercalls()
+    if args.op == "list":
+        print(tools.xm_list(hypercalls))
+    elif args.op == "info":
+        print(tools.xm_info(hypercalls))
+    elif args.op == "vcpu-list":
+        print(tools.xm_vcpu_list(hypercalls, args.domid))
+    elif args.op == "dump-core":
+        image = tools.xm_dump_core(hypercalls, args.domid)
+        print(f"dumped {len(image)} bytes of dom{args.domid} "
+              f"({args.mode} regime)")
+    return 0
+
+
+def cmd_replay_trace(args: argparse.Namespace) -> int:
+    """Replay a trace file against a fresh platform, print a latency summary."""
+    import sys as _sys
+
+    from repro.metrics.recorder import LatencyRecorder
+    from repro.workloads.mixes import GuestSession
+    from repro.workloads.traces import SyntheticTrace
+
+    text = open(args.file).read() if args.file != "-" else _sys.stdin.read()
+    trace = SyntheticTrace.loads(text)
+    fresh_timing_context()
+    platform = build_platform(AccessMode(args.mode), seed=args.seed)
+    sessions = [
+        GuestSession(platform.add_guest(f"g{i:02d}"), platform.rng.fork(f"s{i}"))
+        for i in range(trace.guests)
+    ]
+    recorder = LatencyRecorder()
+    for entry in trace:
+        with recorder.measure(entry.operation):
+            sessions[entry.guest_index].run_operation(entry.operation)
+    from repro.metrics.tables import format_table
+
+    rows = [
+        (name, summary.count, summary.mean, summary.p95)
+        for name, summary in sorted(recorder.summaries().items())
+    ]
+    print(format_table(
+        ["operation", "count", "mean (us)", "p95 (us)"], rows,
+        title=f"trace replay: {len(trace)} ops, {trace.guests} guests, "
+              f"{args.mode} regime",
+    ))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    _register_experiments()
+    print("# vTPM access-control reproduction — evaluation report\n")
+    print(f"(quick mode: {args.quick})\n")
+    for name, runner in EXPERIMENTS.items():
+        result = runner(args.quick)
+        print(f"## {name}\n")
+        print("```")
+        print(result.render())
+        print("```\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vTPM access control on Xen — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_demo = sub.add_parser("demo", help="run the quickstart flow")
+    p_demo.add_argument("--mode", choices=["baseline", "improved"],
+                        default="improved")
+    p_demo.add_argument("--seed", type=int, default=2010)
+    p_demo.set_defaults(fn=cmd_demo)
+
+    p_attack = sub.add_parser("attack-matrix", help="run the attack toolkit")
+    p_attack.add_argument("--mode", choices=["baseline", "improved", "both"],
+                          default="both")
+    p_attack.add_argument("--seed", type=int, default=42)
+    p_attack.add_argument("--verbose", action="store_true")
+    p_attack.set_defaults(fn=cmd_attack_matrix)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("id", help="table1|fig1|table2|fig2|fig3|table3|fig4|"
+                                  "table4|fig5|fig6|all")
+    p_exp.add_argument("--quick", action="store_true",
+                       help="smaller sizes for a fast run")
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_trace = sub.add_parser("trace", help="emit a synthetic workload trace")
+    p_trace.add_argument("--guests", type=int, default=4)
+    p_trace.add_argument("--rate", type=float, default=100.0,
+                         help="commands per guest per second")
+    p_trace.add_argument("--duration", type=float, default=1.0,
+                         help="seconds of trace")
+    p_trace.add_argument("--mix", default="mixed",
+                         choices=["measurement-heavy", "sealed-storage",
+                                  "attestation", "mixed"])
+    p_trace.add_argument("--seed", type=int, default=1)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_xm = sub.add_parser("xm", help="xm-style machine administration views")
+    p_xm.add_argument("op", choices=["list", "info", "vcpu-list", "dump-core"])
+    p_xm.add_argument("--mode", choices=["baseline", "improved"],
+                      default="improved")
+    p_xm.add_argument("--guests", type=int, default=2)
+    p_xm.add_argument("--domid", type=int, default=0)
+    p_xm.add_argument("--seed", type=int, default=2010)
+    p_xm.set_defaults(fn=cmd_xm)
+
+    p_replay = sub.add_parser("replay-trace",
+                              help="replay a trace file against a platform")
+    p_replay.add_argument("file", help="trace file path, or - for stdin")
+    p_replay.add_argument("--mode", choices=["baseline", "improved"],
+                          default="improved")
+    p_replay.add_argument("--seed", type=int, default=2010)
+    p_replay.set_defaults(fn=cmd_replay_trace)
+
+    p_report = sub.add_parser("report", help="full evaluation as markdown")
+    p_report.add_argument("--quick", action="store_true")
+    p_report.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Append-only, hash-chained audit log for access decisions.
+
+Every monitor decision (allow *and* deny) produces a record; records chain
+``h_i = SHA-256(h_{i-1} || record_i)`` so truncation or in-place edits are
+detectable — the standard response to "the attacker owns the log file".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.sim.timing import charge, get_context
+
+GENESIS = hashlib.sha256(b"vtpm-audit-genesis").digest()
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One immutable audit entry."""
+
+    sequence: int
+    timestamp_us: float
+    subject: str            # identity hex (or 'dom<N>' pre-identity)
+    instance: object
+    operation: str          # ordinal name
+    allowed: bool
+    reason: str
+    chain_hash: bytes = b""
+
+    def encode(self) -> bytes:
+        return (
+            f"{self.sequence}|{self.timestamp_us:.3f}|{self.subject}|"
+            f"{self.instance}|{self.operation}|"
+            f"{'ALLOW' if self.allowed else 'DENY'}|{self.reason}"
+        ).encode("utf-8")
+
+
+class AuditLog:
+    """The manager's append-only decision log."""
+
+    def __init__(self) -> None:
+        self._records: List[AuditRecord] = []
+        self._head = GENESIS
+
+    def append(
+        self,
+        subject: str,
+        instance: object,
+        operation: str,
+        allowed: bool,
+        reason: str,
+    ) -> AuditRecord:
+        partial = AuditRecord(
+            sequence=len(self._records),
+            timestamp_us=get_context().clock.now_us,
+            subject=subject,
+            instance=instance,
+            operation=operation,
+            allowed=allowed,
+            reason=reason,
+        )
+        encoded = partial.encode()
+        charge("ac.audit.append", len(encoded))
+        self._head = hashlib.sha256(self._head + encoded).digest()
+        record = AuditRecord(
+            sequence=partial.sequence,
+            timestamp_us=partial.timestamp_us,
+            subject=partial.subject,
+            instance=partial.instance,
+            operation=partial.operation,
+            allowed=partial.allowed,
+            reason=partial.reason,
+            chain_hash=self._head,
+        )
+        self._records.append(record)
+        return record
+
+    # -- verification -----------------------------------------------------------
+
+    def verify_chain(self) -> bool:
+        """Recompute the whole chain; False means tampering."""
+        head = GENESIS
+        for record in self._records:
+            head = hashlib.sha256(head + record.encode()).digest()
+            if head != record.chain_hash:
+                return False
+        return head == self._head
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[AuditRecord]:
+        return list(self._records)
+
+    def denials(self) -> List[AuditRecord]:
+        return [r for r in self._records if not r.allowed]
+
+    def for_subject(self, subject: str) -> List[AuditRecord]:
+        return [r for r in self._records if r.subject == subject]
+
+    def for_instance(self, instance: object) -> List[AuditRecord]:
+        return [r for r in self._records if r.instance == instance]
+
+    def tail(self, count: int = 10) -> List[AuditRecord]:
+        return self._records[-count:]

@@ -1,0 +1,72 @@
+"""Configuration for the access-control layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessMode(enum.Enum):
+    """Which vTPM protection regime a platform runs."""
+
+    #: Stock Xen vTPM: trust-by-domid, plaintext state, dumpable memory.
+    BASELINE = "baseline"
+    #: The paper's improvement: full reference monitor + protections.
+    IMPROVED = "improved"
+
+
+@dataclass(frozen=True)
+class AccessControlConfig:
+    """Per-mechanism switches (all on = the paper's full scheme).
+
+    The ablation benchmark toggles these one at a time to attribute cost;
+    the baseline platform simply never consults them.
+    """
+
+    identity_check: bool = True     # verify caller measurement per command
+    policy_check: bool = True       # per-ordinal policy decision
+    audit: bool = True              # append-only audit records
+    protect_memory: bool = True     # hypervisor-protect vTPM secret pages
+    seal_storage: bool = True       # encrypt state at rest, key sealed to hw TPM
+
+    @staticmethod
+    def all_on() -> "AccessControlConfig":
+        return AccessControlConfig()
+
+    @staticmethod
+    def all_off() -> "AccessControlConfig":
+        return AccessControlConfig(
+            identity_check=False,
+            policy_check=False,
+            audit=False,
+            protect_memory=False,
+            seal_storage=False,
+        )
+
+    def with_only(self, component: str) -> "AccessControlConfig":
+        """A config with exactly one mechanism enabled (ablation helper)."""
+        base = {
+            "identity_check": False,
+            "policy_check": False,
+            "audit": False,
+            "protect_memory": False,
+            "seal_storage": False,
+        }
+        if component not in base:
+            raise ValueError(f"unknown access-control component {component!r}")
+        base[component] = True
+        return AccessControlConfig(**base)
+
+    def without(self, component: str) -> "AccessControlConfig":
+        """A config with one mechanism disabled (leave-one-out ablation)."""
+        values = {
+            "identity_check": self.identity_check,
+            "policy_check": self.policy_check,
+            "audit": self.audit,
+            "protect_memory": self.protect_memory,
+            "seal_storage": self.seal_storage,
+        }
+        if component not in values:
+            raise ValueError(f"unknown access-control component {component!r}")
+        values[component] = False
+        return AccessControlConfig(**values)

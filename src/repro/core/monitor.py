@@ -1,0 +1,179 @@
+"""The reference monitor on the vTPM command path.
+
+The vTPM manager calls :meth:`Monitor.authorize` for every command packet
+*before* it reaches a vTPM instance.  The baseline monitor reproduces
+stock Xen (trust whatever the backend claims, no checks, no cost); the
+access-control monitor performs the paper's checks:
+
+1. **binding** — the caller domain's *measured identity* must equal the
+   identity the instance was created for (defeats domid recycling and
+   rogue backend re-binding);
+2. **policy** — the (identity, instance, ordinal-class) triple must be
+   granted (defeats over-broad command access, e.g. a guest driving
+   owner-admin ordinals at another instance);
+3. **audit** — the decision is appended to the hash-chained log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.audit import AuditLog
+from repro.core.config import AccessControlConfig
+from repro.core.identity import IdentityRegistry
+from repro.core.policy import PolicyEngine
+from repro.tpm.constants import ordinal_name
+from repro.tpm.marshal import parse_command
+from repro.util.errors import AccessDenied, IdentityError, MarshalError
+from repro.xen.domain import Domain
+
+
+@dataclass(frozen=True)
+class AuthorizationResult:
+    """What the monitor concluded for one command."""
+
+    allowed: bool
+    subject: str
+    operation: str
+    reason: str
+
+
+class Monitor:
+    """Interface both monitors implement."""
+
+    def authorize(
+        self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
+        wire: bytes,
+    ) -> AuthorizationResult:
+        raise NotImplementedError
+
+    def on_instance_created(
+        self, instance_id: int, identity_hex: str, profile=None
+    ) -> None:
+        """Hook: a new instance was bound to an identity."""
+
+    def on_instance_destroyed(self, instance_id: int) -> None:
+        """Hook: an instance disappeared."""
+
+
+class BaselineMonitor(Monitor):
+    """Stock Xen vTPM behaviour: no checks, no charges, allow everything."""
+
+    def authorize(
+        self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
+        wire: bytes,
+    ) -> AuthorizationResult:
+        return AuthorizationResult(
+            allowed=True,
+            subject=f"dom{caller.domid}",
+            operation="*",
+            reason="baseline: backend-claimed binding trusted",
+        )
+
+
+class AccessControlMonitor(Monitor):
+    """The paper's reference monitor."""
+
+    def __init__(
+        self,
+        identities: IdentityRegistry,
+        policy: PolicyEngine,
+        audit: AuditLog,
+        config: Optional[AccessControlConfig] = None,
+    ) -> None:
+        self.identities = identities
+        self.policy = policy
+        self.audit = audit
+        self.config = config or AccessControlConfig()
+        self.checks = 0
+        self.denials = 0
+
+    def on_instance_created(
+        self, instance_id: int, identity_hex: str, profile=None
+    ) -> None:
+        """Grant the owning identity its rights on the instance.
+
+        ``profile`` (a :class:`~repro.core.profiles.PolicyProfile`) narrows
+        the grant; the default is the full owner profile.
+        """
+        if self.config.policy_check:
+            if profile is None:
+                self.policy.grant_owner(identity_hex, instance_id)
+            else:
+                profile.apply(self.policy, identity_hex, instance_id)
+
+    def on_instance_destroyed(self, instance_id: int) -> None:
+        doomed = [
+            r.rule_id
+            for r in self.policy._rules.values()
+            if r.instance == instance_id
+        ]
+        for rule_id in doomed:
+            self.policy.revoke_rule(rule_id)
+
+    def authorize(
+        self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
+        wire: bytes,
+    ) -> AuthorizationResult:
+        self.checks += 1
+        try:
+            ordinal = parse_command(wire).ordinal
+        except (MarshalError, Exception) as exc:  # malformed frames: deny early
+            if not isinstance(exc, MarshalError):
+                raise
+            return self._deny(
+                f"dom{caller.domid}", instance_id, "malformed",
+                f"unparseable command frame: {exc}",
+            )
+        operation = ordinal_name(ordinal)
+
+        # 1. identity binding
+        subject = f"dom{caller.domid}"
+        if not self.config.identity_check:
+            # Policy-only ablation: use the registered identity as the
+            # subject without re-verifying it (trust-but-lookup), so policy
+            # rules keyed by identity still apply.
+            known = self.identities.lookup(caller.domid)
+            if known is not None:
+                subject = known.hex
+        if self.config.identity_check:
+            try:
+                identity = self.identities.verify_current(caller)
+            except IdentityError as exc:
+                return self._deny(subject, instance_id, operation, str(exc))
+            subject = identity.hex
+            if bound_identity_hex is not None and subject != bound_identity_hex:
+                return self._deny(
+                    subject,
+                    instance_id,
+                    operation,
+                    f"instance {instance_id} is bound to identity "
+                    f"{bound_identity_hex[:12]}…, caller is {subject[:12]}…",
+                )
+
+        # 2. policy
+        if self.config.policy_check:
+            decision = self.policy.decide(subject, instance_id, ordinal)
+            if not decision.allowed:
+                return self._deny(subject, instance_id, operation, decision.reason)
+            reason = decision.reason
+        else:
+            reason = "policy check disabled"
+
+        # 3. audit the allow
+        if self.config.audit:
+            self.audit.append(subject, instance_id, operation, True, reason)
+        return AuthorizationResult(
+            allowed=True, subject=subject, operation=operation, reason=reason
+        )
+
+    def _deny(
+        self, subject: str, instance_id: int, operation: str, reason: str
+    ) -> AuthorizationResult:
+        self.denials += 1
+        if self.config.audit:
+            self.audit.append(subject, instance_id, operation, False, reason)
+        return AuthorizationResult(
+            allowed=False, subject=subject, operation=operation, reason=reason
+        )

@@ -1,0 +1,99 @@
+"""Policy profiles: named grant bundles for classes of guests.
+
+The default grant (``PolicyEngine.grant_owner``) gives a VM everything on
+its own instance.  Real deployments want narrower profiles — a web
+front-end that only ever unseals, an appliance that only attests.  A
+profile is a named set of command classes; applying one installs exactly
+those grants for (identity, instance).
+
+Profiles compose with the deny-by-default engine: anything a profile does
+not name stays denied, so e.g. an ``attestation-only`` guest cannot write
+NV or mint keys even on its *own* vTPM — least privilege inside the VM's
+own boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable
+
+from repro.core.policy import CommandClass, PolicyEngine, PolicyRule
+from repro.util.errors import AccessControlError
+
+
+@dataclass(frozen=True)
+class PolicyProfile:
+    """A named bundle of command classes."""
+
+    name: str
+    classes: FrozenSet[CommandClass]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise AccessControlError(f"profile {self.name!r} grants nothing")
+        if CommandClass.UNKNOWN in self.classes:
+            raise AccessControlError("profiles cannot grant UNKNOWN")
+
+    def apply(
+        self, engine: PolicyEngine, subject: str, instance: object
+    ) -> list[PolicyRule]:
+        """Install this profile's grants; returns the created rules."""
+        return engine.add_rule(subject, instance, sorted(
+            self.classes, key=lambda c: c.value
+        ))
+
+
+#: the full-rights profile grant_owner() uses, named for completeness
+PROFILE_OWNER = PolicyProfile(
+    name="owner",
+    classes=frozenset(
+        c for c in CommandClass if c is not CommandClass.UNKNOWN
+    ),
+    description="everything on the guest's own instance (the default)",
+)
+
+#: quote/sign and the sessions they need; no storage mutation, no admin
+PROFILE_ATTESTATION_ONLY = PolicyProfile(
+    name="attestation-only",
+    classes=frozenset(
+        {CommandClass.READ, CommandClass.MEASURE, CommandClass.USE_KEY,
+         CommandClass.SESSION}
+    ),
+    description="measure, quote and sign; no key/NV admin, no ownership ops",
+)
+
+#: seal/unseal workloads: use keys and sessions, read state; no measuring
+PROFILE_SEALED_STORAGE = PolicyProfile(
+    name="sealed-storage",
+    classes=frozenset(
+        {CommandClass.READ, CommandClass.USE_KEY, CommandClass.SESSION}
+    ),
+    description="unseal/seal with existing keys; cannot even extend PCRs",
+)
+
+#: monitoring agents: read-only
+PROFILE_MONITOR = PolicyProfile(
+    name="monitor",
+    classes=frozenset({CommandClass.READ, CommandClass.SESSION}),
+    description="PCR/counter/capability reads only",
+)
+
+PROFILES: Dict[str, PolicyProfile] = {
+    p.name: p
+    for p in (
+        PROFILE_OWNER,
+        PROFILE_ATTESTATION_ONLY,
+        PROFILE_SEALED_STORAGE,
+        PROFILE_MONITOR,
+    )
+}
+
+
+def profile_by_name(name: str) -> PolicyProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise AccessControlError(
+            f"unknown policy profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,56 @@
+"""Hypervisor page protection for vTPM secret memory.
+
+The memory half of the paper's defence: the frames holding vTPM instance
+state inside the manager domain are flagged hypervisor-protected, so the
+foreign-map interface (``xc_map_foreign_range`` / ``xm dump-core``) can no
+longer read them — even from Dom0.  Grant-based sharing is unaffected, so
+the split driver keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.xen.memory import MemoryRegion, PhysicalMemory
+
+
+class MemoryProtector:
+    """Tracks and toggles protection over vTPM secret regions."""
+
+    def __init__(self, memory: PhysicalMemory, enabled: bool = True) -> None:
+        self._memory = memory
+        self.enabled = enabled
+        self._protected_frames: Dict[object, List[int]] = {}
+
+    def protect_region(self, tag: object, region: MemoryRegion) -> int:
+        """Protect every frame of ``region`` under ``tag``; returns count.
+
+        With protection disabled (baseline) this records nothing and the
+        frames stay dumpable — the stock-Xen behaviour.
+        """
+        if not self.enabled:
+            return 0
+        for frame in region.frames:
+            self._memory.set_protected(frame, True)
+        self._protected_frames[tag] = list(region.frames)
+        return len(region.frames)
+
+    def unprotect(self, tag: object) -> int:
+        """Drop protection for a tag (instance teardown); returns count."""
+        frames = self._protected_frames.pop(tag, [])
+        for frame in frames:
+            # The frame may already be freed; tolerate that.
+            try:
+                self._memory.set_protected(frame, False)
+            except Exception:
+                continue
+        return len(frames)
+
+    def protected_frames(self) -> List[int]:
+        out: List[int] = []
+        for frames in self._protected_frames.values():
+            out.extend(frames)
+        return sorted(out)
+
+    def is_protected(self, frame: int) -> bool:
+        return self._memory.page(frame).protected

@@ -1,0 +1,40 @@
+"""Hash functions with virtual-time accounting.
+
+TPM 1.2 is a SHA-1 device (PCRs, auth HMACs, signatures all use SHA-1); the
+access-control layer uses SHA-256 for identity measurements and state
+sealing.  Both wrappers charge the cost model per input byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.sim.timing import charge
+
+SHA1_SIZE = 20
+SHA256_SIZE = 32
+
+#: digest sizes by algorithm name, used by marshalling code
+HASH_SIZES = {"sha1": SHA1_SIZE, "sha256": SHA256_SIZE}
+
+
+def sha1(data: bytes) -> bytes:
+    """SHA-1 digest (the TPM 1.2 hash)."""
+    charge("hash.sha1", len(data))
+    return hashlib.sha1(data).digest()
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest (identity measurement / sealing hash)."""
+    charge("hash.sha256", len(data))
+    return hashlib.sha256(data).digest()
+
+
+def sha1_hex(data: bytes) -> str:
+    """Hex form of :func:`sha1` (log- and XenStore-friendly)."""
+    return sha1(data).hex()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex form of :func:`sha256`."""
+    return sha256(data).hex()

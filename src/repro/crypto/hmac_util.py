@@ -1,0 +1,29 @@
+"""HMAC and constant-time comparison.
+
+TPM 1.2 authorization (OIAP/OSAP) proves knowledge of an AuthData secret by
+HMAC-SHA1 over the command digest and session nonces; the vTPM storage layer
+integrity-protects sealed state with HMAC-SHA256.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+
+from repro.sim.timing import charge
+
+
+def hmac_sha1(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA1 (TPM 1.2 authorization MAC)."""
+    charge("mac.hmac", len(data))
+    return _hmac.new(key, data, "sha1").digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 (state-integrity MAC)."""
+    charge("mac.hmac", len(data))
+    return _hmac.new(key, data, "sha256").digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe equality, as a real TPM must use for auth digests."""
+    return _hmac.compare_digest(a, b)

@@ -1,0 +1,37 @@
+"""Experiment harness: platform assembly and the evaluation runners."""
+
+from repro.harness.builder import (
+    GuestHandle,
+    Platform,
+    build_platform,
+    fresh_timing_context,
+)
+from repro.harness.experiments import (
+    run_ablation,
+    run_attack_matrix_experiment,
+    run_command_latency,
+    run_instance_creation,
+    run_migration_sweep,
+    run_policy_scaling,
+    run_recovery_sweep,
+    run_throughput_scaling,
+    run_webapp_benchmark,
+)
+from repro.harness.loadtest import run_latency_under_load
+
+__all__ = [
+    "GuestHandle",
+    "Platform",
+    "build_platform",
+    "fresh_timing_context",
+    "run_ablation",
+    "run_attack_matrix_experiment",
+    "run_command_latency",
+    "run_instance_creation",
+    "run_migration_sweep",
+    "run_policy_scaling",
+    "run_recovery_sweep",
+    "run_throughput_scaling",
+    "run_webapp_benchmark",
+    "run_latency_under_load",
+]

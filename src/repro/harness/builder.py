@@ -1,0 +1,324 @@
+"""Platform assembly: one call builds a whole machine, either regime.
+
+A :class:`Platform` is a booted Xen machine with a hardware TPM, a vTPM
+manager (baseline or improved), storage, and helpers to add guests with
+attached vTPMs and ready-to-use TPM clients.  Every test, example and
+benchmark builds platforms through here, so the two regimes differ in
+exactly one switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.audit import AuditLog
+from repro.core.config import AccessControlConfig, AccessMode
+from repro.core.identity import IdentityRegistry
+from repro.core.monitor import AccessControlMonitor, BaselineMonitor, Monitor
+from repro.core.policy import PolicyEngine
+from repro.core.protection import MemoryProtector
+from repro.core.sealing import StateSealer
+from repro.crypto.random_source import RandomSource
+from repro.sim.clock import VirtualClock
+from repro.sim.timing import CostModel, TimingContext, set_context
+from repro.tpm.client import TpmClient
+from repro.tpm.device import TpmDevice
+from repro.util.errors import ReproError
+from repro.vtpm.backend import VtpmBackend, attach_vtpm
+from repro.vtpm.frontend import VtpmFrontend
+from repro.vtpm.manager import VtpmManager
+from repro.vtpm.migration import MigrationEndpoint
+from repro.vtpm.storage import DiskStore, VtpmStorage
+from repro.xen.domain import Domain
+from repro.xen.hypercall import HypercallInterface
+from repro.xen.hypervisor import DOM0_ID, Xen
+
+#: key size used throughout simulations; virtual-time cost is billed at the
+#: declared size class, so small real keys keep host time low without
+#: touching results.
+SIM_KEY_BITS = 512
+
+OWNER_AUTH = b"platform-owner-auth!"  # 20 bytes
+SRK_AUTH = b"platform-srk-auth!!!"    # 20 bytes
+
+
+@dataclass
+class GuestHandle:
+    """Everything a test needs to drive one guest."""
+
+    domain: Domain
+    frontend: VtpmFrontend
+    backend: VtpmBackend
+    client: TpmClient
+    instance_id: int
+
+
+class Platform:
+    """One machine: hypervisor + hardware TPM + vTPM subsystem."""
+
+    def __init__(
+        self,
+        mode: AccessMode,
+        seed: int = 2010,
+        ac_config: Optional[AccessControlConfig] = None,
+        key_bits: int = SIM_KEY_BITS,
+        name: str = "platform",
+        nv_capacity: Optional[int] = None,
+        stub_manager: bool = False,
+    ) -> None:
+        self.mode = mode
+        self.name = name
+        self.rng = RandomSource(f"{name}-{seed}".encode())
+        self.xen = Xen(self.rng.fork("xen"))
+        self.stub_manager = stub_manager
+        # Optionally host the manager in a dedicated unprivileged stub
+        # domain (the TCB-reduction deployment) rather than Dom0.
+        if stub_manager:
+            self._manager_domain = self.xen.create_domain(
+                "vtpm-stubdom", kernel_image=b"mini-os-vtpm-manager", pages=128
+            )
+            manager_domid = self._manager_domain.domid
+        else:
+            self._manager_domain = self.xen.dom0
+            manager_domid = DOM0_ID
+        self.ac_config = ac_config or (
+            AccessControlConfig.all_on()
+            if mode is AccessMode.IMPROVED
+            else AccessControlConfig.all_off()
+        )
+
+        # -- hardware TPM, owned by the platform administrator ---------------
+        self.hw_tpm = TpmDevice(self.rng.fork("hw-tpm"), key_bits=key_bits, name="hwtpm")
+        self.hw_tpm.power_on()
+        self.hw_client = TpmClient(self.hw_tpm.execute, self.rng.fork("hw-client"))
+        ek_pub = self.hw_client.read_pubek()
+        self.hw_client.take_ownership(OWNER_AUTH, SRK_AUTH, ek_pub)
+        # Boot measurements into the hardware PCRs (BIOS/loader/dom0 chain).
+        for index, stage in enumerate((b"bios", b"bootloader", b"xen+dom0")):
+            import hashlib
+
+            self.hw_client.extend(index, hashlib.sha1(stage).digest())
+
+        # -- access-control plumbing ------------------------------------------
+        self.identities = IdentityRegistry()
+        self.policy = PolicyEngine()
+        self.audit = AuditLog()
+        self.disk = DiskStore()
+        self.sealer: Optional[StateSealer] = None
+        self.protector: Optional[MemoryProtector] = None
+        monitor: Monitor
+        if mode is AccessMode.IMPROVED:
+            monitor = AccessControlMonitor(
+                self.identities, self.policy, self.audit, self.ac_config
+            )
+            if self.ac_config.seal_storage:
+                self.sealer = StateSealer(
+                    self.hw_client, SRK_AUTH, self.rng.fork("sealer")
+                )
+                self.sealer.initialize(pcr_indices=(0, 1, 2))
+            self.protector = MemoryProtector(
+                self.xen.memory, enabled=self.ac_config.protect_memory
+            )
+        else:
+            monitor = BaselineMonitor()
+        self.monitor = monitor
+        self.storage = VtpmStorage(self.disk, sealer=self.sealer)
+        self.manager = VtpmManager(
+            self.xen,
+            manager_domid=manager_domid,
+            storage=self.storage,
+            monitor=monitor,
+            mode=mode,
+            identities=self.identities if mode is AccessMode.IMPROVED else None,
+            protector=self.protector,
+            key_bits=key_bits,
+            nv_capacity=nv_capacity,
+            rng=self.rng.fork("manager"),
+        )
+        self.migration = MigrationEndpoint(
+            self.manager,
+            self.rng.fork("migration"),
+            hw_client=self.hw_client,
+            srk_auth=SRK_AUTH,
+        )
+        # Deep-attestation certifier (improved mode): endorses vTPM keys
+        # with a hardware-TPM AIK.
+        self.certifier = None
+        if mode is AccessMode.IMPROVED:
+            from repro.core.certification import VtpmCertifier
+
+            self.certifier = VtpmCertifier(
+                self.hw_client, OWNER_AUTH, SRK_AUTH,
+                aik_auth=b"certifier-aik-auth!!",
+            )
+        self.guests: Dict[str, GuestHandle] = {}
+        self._key_bits = key_bits
+
+    # -- guests ---------------------------------------------------------------------
+
+    def add_guest(
+        self,
+        name: str,
+        kernel_image: Optional[bytes] = None,
+        config: Optional[Dict[str, str]] = None,
+        profile=None,
+    ) -> GuestHandle:
+        """Create a guest domain with an attached vTPM and a TPM client.
+
+        ``profile`` optionally narrows the policy grant (improved mode);
+        see :mod:`repro.core.profiles`.
+        """
+        if name in self.guests:
+            raise ReproError(f"guest {name!r} already exists on {self.name}")
+        domain = self.xen.create_domain(
+            name,
+            kernel_image=kernel_image or f"linux-2.6.18-{name}".encode(),
+            config=config or {"vtpm": "1"},
+        )
+        if self.mode is AccessMode.IMPROVED:
+            self.identities.register(domain)
+        frontend, backend = attach_vtpm(
+            self.xen, self.manager, domain, profile=profile
+        )
+        client = TpmClient(frontend.transport, self.rng.fork(f"client-{name}"))
+        handle = GuestHandle(
+            domain=domain,
+            frontend=frontend,
+            backend=backend,
+            client=client,
+            instance_id=backend.instance_id,
+        )
+        self.guests[name] = handle
+        return handle
+
+    def remove_guest(self, name: str, persist_vtpm: bool = True) -> None:
+        handle = self.guests.pop(name)
+        handle.frontend.close()
+        self.manager.destroy_instance(handle.instance_id, persist=persist_vtpm)
+        if self.mode is AccessMode.IMPROVED:
+            self.identities.forget(handle.domain.domid)
+        self.xen.destroy_domain(handle.domain.domid)
+
+    def audit_anchor(self):
+        """Hardware-anchored audit checkpointing (improved mode, lazy)."""
+        if self.mode is not AccessMode.IMPROVED:
+            raise ReproError("audit anchoring needs the improved regime")
+        if not hasattr(self, "_audit_anchor"):
+            from repro.core.anchor import AuditAnchor
+
+            self._audit_anchor = AuditAnchor(
+                self.hw_client,
+                OWNER_AUTH,
+                area_auth=b"platform-anchor-a!!!",
+                counter_auth=b"platform-anchor-c!!!",
+            )
+        return self._audit_anchor
+
+    # -- hotplug path --------------------------------------------------------------
+
+    def hotplug_agent(self):
+        """The xend-style watch-driven device controller (created lazily)."""
+        if not hasattr(self, "_hotplug_agent"):
+            from repro.vtpm.hotplug import VtpmHotplugAgent
+
+            self._hotplug_agent = VtpmHotplugAgent(self.xen, self.manager)
+        return self._hotplug_agent
+
+    def add_guest_hotplug(self, name: str,
+                          kernel_image: Optional[bytes] = None) -> GuestHandle:
+        """Add a guest whose vTPM connects via the XenStore watch protocol
+        instead of the explicit attach path."""
+        if name in self.guests:
+            raise ReproError(f"guest {name!r} already exists on {self.name}")
+        agent = self.hotplug_agent()
+        domain = self.xen.create_domain(
+            name,
+            kernel_image=kernel_image or f"linux-2.6.18-{name}".encode(),
+            config={"vtpm": "1"},
+        )
+        if self.mode is AccessMode.IMPROVED:
+            self.identities.register(domain)
+        frontend = VtpmFrontend(self.xen, domain, backend_domid=DOM0_ID)
+        agent.register_frontend(frontend)
+        backend = agent.backend_for(domain.domid)
+        if backend is None:
+            raise ReproError(f"hotplug agent failed to connect {name!r}")
+        client = TpmClient(frontend.transport, self.rng.fork(f"client-{name}"))
+        handle = GuestHandle(
+            domain=domain,
+            frontend=frontend,
+            backend=backend,
+            client=client,
+            instance_id=backend.instance_id,
+        )
+        self.guests[name] = handle
+        return handle
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def restart_manager(self) -> int:
+        """Simulate a vTPM-manager daemon crash and restart.
+
+        Every instance's volatile object is lost; the new daemon reloads
+        state from persistent storage (through the hardware-TPM-gated
+        sealer in improved mode) and the back-ends reconnect.  Returns how
+        many instances were recovered.
+
+        Fails closed: if the sealer cannot unlock (platform PCRs moved),
+        the restore raises and no plaintext state ever materialises.
+        """
+        self.manager.save_all()
+        if self.sealer is not None:
+            # The daemon's in-memory root dies with the process...
+            self.sealer.lock()
+            # ...and the replacement must re-earn it from the hardware TPM.
+            self.sealer.unlock()
+        old_instances = {
+            name: handle.instance_id for name, handle in self.guests.items()
+        }
+        for handle in self.guests.values():
+            self.manager.destroy_instance(handle.instance_id, persist=False)
+        recovered = 0
+        for name, handle in self.guests.items():
+            instance = self.manager.restore_instance(handle.domain)
+            handle.backend.rebind(instance.instance_id)
+            handle.instance_id = instance.instance_id
+            recovered += 1
+        return recovered
+
+    def dom0_hypercalls(self) -> HypercallInterface:
+        return HypercallInterface(self.xen, DOM0_ID)
+
+    def hypercalls_for(self, domid: int) -> HypercallInterface:
+        return HypercallInterface(self.xen, domid)
+
+
+def fresh_timing_context(cpu_scale: float = 1.0) -> TimingContext:
+    """Install a fresh clock+model; returns the new context.
+
+    Experiments call this first so measurements start at t=0 with no
+    charges leaked from module import or previous runs.
+    """
+    ctx = TimingContext(model=CostModel(cpu_scale=cpu_scale), clock=VirtualClock())
+    set_context(ctx)
+    return ctx
+
+
+def build_platform(
+    mode: AccessMode,
+    seed: int = 2010,
+    ac_config: Optional[AccessControlConfig] = None,
+    name: Optional[str] = None,
+    nv_capacity: Optional[int] = None,
+    stub_manager: bool = False,
+) -> Platform:
+    """The one-liner used by tests, examples and benchmarks."""
+    return Platform(
+        mode=mode,
+        seed=seed,
+        ac_config=ac_config,
+        name=name or f"{mode.value}-platform",
+        nv_capacity=nv_capacity,
+        stub_manager=stub_manager,
+    )

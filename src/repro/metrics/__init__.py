@@ -1,0 +1,14 @@
+"""Measurement plumbing: latency recording, summary stats, table output."""
+
+from repro.metrics.recorder import LatencyRecorder, VirtualTimer
+from repro.metrics.stats import Summary, overhead_pct, summarize
+from repro.metrics.tables import format_table
+
+__all__ = [
+    "LatencyRecorder",
+    "VirtualTimer",
+    "Summary",
+    "overhead_pct",
+    "summarize",
+    "format_table",
+]

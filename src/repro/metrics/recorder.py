@@ -1,0 +1,75 @@
+"""Latency recording against the virtual clock."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List
+
+from repro.metrics.stats import Summary, summarize
+from repro.sim.timing import get_context
+from repro.util.errors import ReproError
+
+
+class VirtualTimer:
+    """Context manager measuring elapsed *virtual* microseconds."""
+
+    def __init__(self) -> None:
+        self.elapsed_us = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "VirtualTimer":
+        self._start = get_context().clock.now_us
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_us = get_context().clock.now_us - self._start
+
+
+class LatencyRecorder:
+    """Collects named virtual-latency samples and summarizes them."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+
+    def record(self, name: str, value_us: float) -> None:
+        if value_us < 0:
+            raise ReproError(f"negative latency {value_us} for {name!r}")
+        self._samples[name].append(value_us)
+
+    def measure(self, name: str) -> "_Measurement":
+        """``with recorder.measure("op"):`` records one virtual-time sample."""
+        return _Measurement(self, name)
+
+    def names(self) -> List[str]:
+        return sorted(self._samples)
+
+    def samples(self, name: str) -> List[float]:
+        return list(self._samples.get(name, []))
+
+    def summary(self, name: str) -> Summary:
+        samples = self._samples.get(name)
+        if not samples:
+            raise ReproError(f"no samples recorded for {name!r}")
+        return summarize(samples)
+
+    def summaries(self) -> Dict[str, Summary]:
+        return {name: self.summary(name) for name in self.names()}
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+
+class _Measurement:
+    def __init__(self, recorder: LatencyRecorder, name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._timer = VirtualTimer()
+
+    def __enter__(self) -> "_Measurement":
+        self._timer.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.__exit__(*exc_info)
+        if exc_info[0] is None:
+            self._recorder.record(self._name, self._timer.elapsed_us)

@@ -1,0 +1,71 @@
+"""Summary statistics over latency samples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample set (microseconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f}us median={self.median:.1f}us "
+            f"p95={self.p95:.1f}us max={self.maximum:.1f}us"
+        )
+
+
+def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile over pre-sorted samples."""
+    if not sorted_samples:
+        raise ReproError("percentile of empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ReproError(f"fraction {fraction} outside [0, 1]")
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = fraction * (len(sorted_samples) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(sorted_samples) - 1)
+    weight = position - low
+    return sorted_samples[low] * (1 - weight) + sorted_samples[high] * weight
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Full summary of a sample set."""
+    if not samples:
+        raise ReproError("summarize of empty sample set")
+    ordered = sorted(samples)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((x - mean) ** 2 for x in ordered) / n if n > 1 else 0.0
+    return Summary(
+        count=n,
+        mean=mean,
+        median=percentile(ordered, 0.5),
+        p95=percentile(ordered, 0.95),
+        p99=percentile(ordered, 0.99),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        stdev=math.sqrt(variance),
+    )
+
+
+def overhead_pct(baseline: float, treatment: float) -> float:
+    """Relative overhead of treatment over baseline, in percent."""
+    if baseline <= 0:
+        raise ReproError(f"baseline must be positive, got {baseline}")
+    return (treatment - baseline) / baseline * 100.0

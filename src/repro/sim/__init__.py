@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel.
+
+All latency and throughput numbers in the reproduction come from a virtual
+clock, never from wall time, so results are bit-reproducible across machines.
+
+Two styles of time accounting coexist:
+
+* **Sequential charging** — synchronous code paths (a single TPM command
+  travelling front-end → ring → manager → TPM) charge costs to the ambient
+  :class:`~repro.sim.clock.VirtualClock` via :func:`~repro.sim.timing.charge`.
+* **Process interleaving** — concurrent scenarios (many VMs sharing one vTPM
+  manager) run as generator processes inside
+  :class:`~repro.sim.engine.Simulator`, queueing on
+  :class:`~repro.sim.engine.Resource` objects.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Simulator, Resource, Process
+from repro.sim.timing import CostModel, CostLedger, current_ledger, ledger_scope
+
+__all__ = [
+    "VirtualClock",
+    "Simulator",
+    "Resource",
+    "Process",
+    "CostModel",
+    "CostLedger",
+    "current_ledger",
+    "ledger_scope",
+]

@@ -1,0 +1,52 @@
+"""Virtual clock: the single source of time for the whole simulation."""
+
+from __future__ import annotations
+
+from repro.util.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonic virtual clock measured in microseconds.
+
+    The clock only moves forward.  Components *charge* durations to it for
+    sequential work; the event engine *sets* it when it dispatches events.
+    """
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise SimulationError(f"clock cannot start at negative time {start_us}")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_us / 1000.0
+
+    def advance(self, delta_us: float) -> float:
+        """Move the clock forward by ``delta_us`` microseconds.
+
+        Returns the new time.  Negative deltas are a programming error.
+        """
+        if delta_us < 0:
+            raise SimulationError(f"cannot advance clock by negative {delta_us}us")
+        self._now_us += delta_us
+        return self._now_us
+
+    def jump_to(self, when_us: float) -> float:
+        """Set the clock to an absolute time, which must not be in the past."""
+        if when_us < self._now_us:
+            raise SimulationError(
+                f"cannot jump clock backwards: {when_us} < {self._now_us}"
+            )
+        self._now_us = when_us
+        return self._now_us
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now_us={self._now_us:.3f})"

@@ -1,0 +1,199 @@
+"""Generator-based discrete-event simulator.
+
+Processes are Python generators that ``yield`` simulation directives:
+
+* ``yield delay_us`` (a number) — sleep for that many virtual microseconds.
+* ``yield resource.acquire()`` — queue on a FIFO :class:`Resource`; the
+  process resumes once it holds the resource.
+
+The engine dispatches events in (time, insertion-order) order, so runs are
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.util.errors import SimulationError
+
+ProcessGen = Generator[object, object, object]
+
+
+class _Acquire:
+    """Directive: the yielding process wants ``resource``."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+
+class Resource:
+    """A FIFO-served exclusive resource (e.g. the vTPM manager thread).
+
+    Processes acquire it by ``yield res.acquire()`` and must release it with
+    ``res.release()`` when done.  Waiters are resumed strictly in arrival
+    order, matching the single worker-thread dispatch loop of the Xen vTPM
+    manager daemon.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "resource") -> None:
+        self._sim = sim
+        self.name = name
+        self._busy = False
+        self._waiters: deque[Process] = deque()
+        self.total_acquisitions = 0
+        self.total_wait_us = 0.0
+
+    def acquire(self) -> _Acquire:
+        return _Acquire(self)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _try_grant(self, process: "Process") -> bool:
+        """Grant immediately if free, otherwise enqueue.  Returns granted?"""
+        if not self._busy:
+            self._busy = True
+            self.total_acquisitions += 1
+            return True
+        self._waiters.append(process)
+        return False
+
+    def release(self) -> None:
+        if not self._busy:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self.total_acquisitions += 1
+            self.total_wait_us += self._sim.clock.now_us - nxt._wait_started_us
+            # Resource stays busy; hand it straight to the next waiter.
+            self._sim._schedule(0.0, nxt._resume, None)
+        else:
+            self._busy = False
+
+
+class Process:
+    """A running generator process inside a :class:`Simulator`."""
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.pid = next(Process._ids)
+        self.name = name or f"proc{self.pid}"
+        self.finished = False
+        self.result: object = None
+        self._wait_started_us = 0.0
+
+    def _resume(self, value: object) -> None:
+        """Advance the generator by one step, interpreting its directive."""
+        if self.finished:
+            return
+        try:
+            directive = self.gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.sim._process_done(self)
+            return
+        if isinstance(directive, (int, float)):
+            if directive < 0:
+                raise SimulationError(
+                    f"process {self.name} yielded negative delay {directive}"
+                )
+            self.sim._schedule(float(directive), self._resume, None)
+        elif isinstance(directive, _Acquire):
+            self._wait_started_us = self.sim.clock.now_us
+            if directive.resource._try_grant(self):
+                directive.resource.total_wait_us += 0.0
+                self.sim._schedule(0.0, self._resume, None)
+            # else: parked in the waiter queue until release()
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported directive {directive!r}"
+            )
+
+
+class Simulator:
+    """Deterministic event loop over a :class:`VirtualClock`."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock or VirtualClock()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._live_processes = 0
+        self.events_dispatched = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, delay_us: float, fn: Callable[[object], None], arg: object) -> None:
+        when = self.clock.now_us + delay_us
+        heapq.heappush(self._heap, (when, next(self._seq), lambda: fn(arg)))
+
+    def call_at(self, delay_us: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback ``delay_us`` from now."""
+        if delay_us < 0:
+            raise SimulationError(f"negative schedule delay {delay_us}")
+        when = self.clock.now_us + delay_us
+        heapq.heappush(self._heap, (when, next(self._seq), fn))
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a generator process; it is resumed at the current time."""
+        proc = Process(self, gen, name)
+        self._live_processes += 1
+        self._schedule(0.0, proc._resume, None)
+        return proc
+
+    def resource(self, name: str = "resource") -> Resource:
+        return Resource(self, name)
+
+    def _process_done(self, _proc: Process) -> None:
+        self._live_processes -= 1
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until_us: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Dispatch events until the queue drains or ``until_us`` is reached.
+
+        Returns the final virtual time.
+        """
+        dispatched = 0
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until_us is not None and when > until_us:
+                self.clock.jump_to(until_us)
+                return self.clock.now_us
+            heapq.heappop(self._heap)
+            # Synchronous work inside handlers (charge()) can advance the
+            # shared clock past already-queued event times; such events
+            # fire "late" at the current time, like interrupts delivered
+            # after a busy period.
+            self.clock.jump_to(max(when, self.clock.now_us))
+            fn()
+            self.events_dispatched += 1
+            dispatched += 1
+            if dispatched > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+        if until_us is not None and until_us > self.clock.now_us:
+            self.clock.jump_to(until_us)
+        return self.clock.now_us
+
+    def run_all(self, procs: Iterable[ProcessGen]) -> list[Process]:
+        """Convenience: spawn every generator, run to completion, return them."""
+        handles = [self.spawn(g) for g in procs]
+        self.run()
+        unfinished = [p.name for p in handles if not p.finished]
+        if unfinished:
+            raise SimulationError(f"deadlock: processes never finished: {unfinished}")
+        return handles

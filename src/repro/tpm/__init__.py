@@ -1,0 +1,23 @@
+"""TPM 1.2 emulator.
+
+A complete-enough software TPM: PCR bank, RSA key hierarchy, OIAP/OSAP
+authorization, sealed storage, quotes, NV storage and monotonic counters,
+all behind the real big-endian wire format.  One :class:`TpmDevice` is the
+platform's hardware TPM; the vTPM manager instantiates one per guest.
+"""
+
+from repro.tpm.client import TpmClient
+from repro.tpm.device import TpmDevice
+from repro.tpm.dispatch import TpmExecutor, registered_ordinals
+from repro.tpm.pcr import PcrBank, PcrSelection
+from repro.tpm.state import TpmState
+
+__all__ = [
+    "TpmClient",
+    "TpmDevice",
+    "TpmExecutor",
+    "TpmState",
+    "PcrBank",
+    "PcrSelection",
+    "registered_ordinals",
+]

@@ -1,0 +1,5 @@
+"""TPM 1.2 command handlers, grouped by functional area.
+
+Each module registers its ordinals with :func:`repro.tpm.dispatch.handler`
+at import time; :mod:`repro.tpm.dispatch` imports them all.
+"""

@@ -1,0 +1,191 @@
+"""Administrative ordinals: startup, self-test, capabilities, random, flush."""
+
+from __future__ import annotations
+
+from repro.tpm.constants import (
+    MAX_KEY_SLOTS,
+    NUM_PCRS,
+    TPM_BAD_MODE,
+    TPM_BAD_PARAMETER,
+    TPM_CAP_PROPERTY,
+    TPM_CAP_PROP_COUNTERS,
+    TPM_CAP_PROP_KEYS,
+    TPM_CAP_PROP_MANUFACTURER,
+    TPM_CAP_PROP_MAX_KEYS,
+    TPM_CAP_PROP_PCR,
+    TPM_CAP_VERSION,
+    TPM_INVALID_POSTINIT,
+    TPM_ORD_ContinueSelfTest,
+    TPM_ORD_FlushSpecific,
+    TPM_ORD_GetCapability,
+    TPM_ORD_GetRandom,
+    TPM_ORD_OIAP,
+    TPM_ORD_OSAP,
+    TPM_ORD_SaveState,
+    TPM_ORD_SelfTestFull,
+    TPM_ORD_Startup,
+    TPM_RT_AUTH,
+    TPM_RT_COUNTER,
+    TPM_RT_KEY,
+    TPM_ST_CLEAR,
+    TPM_ST_DEACTIVATED,
+    TPM_ST_STATE,
+    NONCE_SIZE,
+    TPM_ET_COUNTER,
+    TPM_ET_KEYHANDLE,
+    TPM_ET_NV,
+    TPM_ET_OWNER,
+    TPM_ET_SRK,
+    TPM_KH_SRK,
+)
+from repro.tpm.dispatch import CommandContext, handler
+from repro.tpm.structures import STRUCT_VERSION
+from repro.util.bytesio import ByteWriter
+from repro.util.errors import TpmError
+
+#: manufacturer string returned by GetCapability, as real parts do ("REPR")
+MANUFACTURER = b"REPR"
+
+
+@handler(TPM_ORD_Startup)
+def tpm_startup(ctx: CommandContext) -> bytes:
+    """TPM_Startup: transition out of post-init into an operational state."""
+    startup_type = ctx.reader.u16()
+    ctx.reader.expect_end()
+    if ctx.state.flags.started:
+        raise TpmError(TPM_INVALID_POSTINIT, "Startup after Startup")
+    if startup_type == TPM_ST_CLEAR:
+        ctx.state.pcrs.startup_clear()
+        ctx.state.keys.evict_all()
+        ctx.state.sessions.flush_all()
+        ctx.state.flags.deactivated = False
+    elif startup_type == TPM_ST_STATE:
+        # Resume from saved state: PCRs and loaded keys survive.
+        pass
+    elif startup_type == TPM_ST_DEACTIVATED:
+        ctx.state.flags.deactivated = True
+    else:
+        raise TpmError(TPM_BAD_PARAMETER, f"bad startup type {startup_type:#x}")
+    ctx.state.flags.started = True
+    ctx.state.flags.post_initialized = False
+    return b""
+
+
+@handler(TPM_ORD_SaveState)
+def tpm_save_state(ctx: CommandContext) -> bytes:
+    """TPM_SaveState: a no-op marker here; persistence is the caller's job."""
+    ctx.reader.expect_end()
+    return b""
+
+
+@handler(TPM_ORD_SelfTestFull)
+def tpm_self_test_full(ctx: CommandContext) -> bytes:
+    ctx.reader.expect_end()
+    return b""
+
+
+@handler(TPM_ORD_ContinueSelfTest)
+def tpm_continue_self_test(ctx: CommandContext) -> bytes:
+    ctx.reader.expect_end()
+    return b""
+
+
+@handler(TPM_ORD_GetRandom)
+def tpm_get_random(ctx: CommandContext) -> bytes:
+    """TPM_GetRandom: hardware-quality randomness for the guest."""
+    requested = ctx.reader.u32()
+    ctx.reader.expect_end()
+    # Real parts cap a single request; 4096 matches common firmware.
+    count = min(requested, 4096)
+    data = ctx.state.rng.bytes(count)
+    return ByteWriter().sized(data).getvalue()
+
+
+@handler(TPM_ORD_GetCapability)
+def tpm_get_capability(ctx: CommandContext) -> bytes:
+    """TPM_GetCapability: the property subset the stack actually queries."""
+    cap_area = ctx.reader.u32()
+    sub_cap = ctx.reader.sized(max_size=64)
+    ctx.reader.expect_end()
+    w = ByteWriter()
+    if cap_area == TPM_CAP_VERSION:
+        return w.sized(STRUCT_VERSION).getvalue()
+    if cap_area != TPM_CAP_PROPERTY:
+        raise TpmError(TPM_BAD_MODE, f"unsupported capability area {cap_area:#x}")
+    if len(sub_cap) != 4:
+        raise TpmError(TPM_BAD_PARAMETER, "property subCap must be 4 bytes")
+    prop = int.from_bytes(sub_cap, "big")
+    if prop == TPM_CAP_PROP_PCR:
+        value = NUM_PCRS
+    elif prop == TPM_CAP_PROP_MANUFACTURER:
+        return w.sized(MANUFACTURER).getvalue()
+    elif prop == TPM_CAP_PROP_KEYS:
+        value = MAX_KEY_SLOTS - ctx.state.keys.loaded_count
+    elif prop == TPM_CAP_PROP_MAX_KEYS:
+        value = MAX_KEY_SLOTS
+    elif prop == TPM_CAP_PROP_COUNTERS:
+        value = len(ctx.state.counters.counters())
+    else:
+        raise TpmError(TPM_BAD_MODE, f"unsupported property {prop:#x}")
+    return w.sized(value.to_bytes(4, "big")).getvalue()
+
+
+@handler(TPM_ORD_OIAP)
+def tpm_oiap(ctx: CommandContext) -> bytes:
+    """TPM_OIAP: open an object-independent auth session."""
+    ctx.reader.expect_end()
+    session = ctx.state.sessions.open_oiap()
+    w = ByteWriter()
+    w.u32(session.handle)
+    w.raw(session.nonce_even)
+    return w.getvalue()
+
+
+@handler(TPM_ORD_OSAP)
+def tpm_osap(ctx: CommandContext) -> bytes:
+    """TPM_OSAP: open an object-specific session bound to one entity."""
+    entity_type = ctx.reader.u16()
+    entity_value = ctx.reader.u32()
+    nonce_odd_osap = ctx.reader.raw(NONCE_SIZE)
+    ctx.reader.expect_end()
+    secret = _entity_secret(ctx, entity_type, entity_value)
+    session, nonce_even_osap = ctx.state.sessions.open_osap(
+        entity_type, entity_value, secret, nonce_odd_osap
+    )
+    w = ByteWriter()
+    w.u32(session.handle)
+    w.raw(session.nonce_even)
+    w.raw(nonce_even_osap)
+    return w.getvalue()
+
+
+def _entity_secret(ctx: CommandContext, entity_type: int, entity_value: int) -> bytes:
+    """Resolve the AuthData secret an OSAP session binds to."""
+    if entity_type == TPM_ET_OWNER:
+        return ctx.state.owner_auth
+    if entity_type == TPM_ET_SRK:
+        return ctx.state.keys.get(TPM_KH_SRK).usage_auth
+    if entity_type == TPM_ET_KEYHANDLE:
+        return ctx.state.keys.get(entity_value).usage_auth
+    if entity_type == TPM_ET_COUNTER:
+        return ctx.state.counters.get(entity_value).auth
+    if entity_type == TPM_ET_NV:
+        return ctx.state.nv.get(entity_value).auth
+    raise TpmError(TPM_BAD_PARAMETER, f"unknown entity type {entity_type:#x}")
+
+
+@handler(TPM_ORD_FlushSpecific)
+def tpm_flush_specific(ctx: CommandContext) -> bytes:
+    """TPM_FlushSpecific: evict a key, session, or counter."""
+    flush_handle = ctx.reader.u32()
+    resource_type = ctx.reader.u32()
+    ctx.reader.expect_end()
+    if resource_type == TPM_RT_KEY:
+        ctx.state.keys.evict(flush_handle)
+    elif resource_type == TPM_RT_AUTH:
+        ctx.state.sessions.close(flush_handle)
+    elif resource_type == TPM_RT_COUNTER:
+        ctx.state.counters.release(flush_handle)
+    else:
+        raise TpmError(TPM_BAD_PARAMETER, f"bad resource type {resource_type:#x}")
+    return b""

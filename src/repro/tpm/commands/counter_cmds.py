@@ -1,0 +1,58 @@
+"""Monotonic-counter ordinals."""
+
+from __future__ import annotations
+
+from repro.tpm.constants import (
+    AUTHDATA_SIZE,
+    TPM_ORD_CreateCounter,
+    TPM_ORD_IncrementCounter,
+    TPM_ORD_ReadCounter,
+    TPM_ORD_ReleaseCounter,
+)
+from repro.tpm.dispatch import CommandContext, handler
+from repro.util.bytesio import ByteWriter
+
+
+@handler(TPM_ORD_CreateCounter)
+def tpm_create_counter(ctx: CommandContext) -> bytes:
+    """TPM_CreateCounter (owner-authorized): new counter above high water."""
+    counter_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    label = ctx.reader.raw(4)
+    ctx.reader.expect_end()
+    ctx.verify_auth(ctx.state.owner_auth)
+    counter = ctx.state.counters.create(label, counter_auth)
+    w = ByteWriter()
+    w.u32(counter.handle)
+    w.u64(counter.value)
+    return w.getvalue()
+
+
+@handler(TPM_ORD_IncrementCounter)
+def tpm_increment_counter(ctx: CommandContext) -> bytes:
+    """TPM_IncrementCounter (counter-auth): bump and return the new value."""
+    handle = ctx.reader.u32()
+    ctx.reader.expect_end()
+    counter = ctx.state.counters.get(handle)
+    ctx.verify_auth(counter.auth)
+    value = ctx.state.counters.increment(handle)
+    return ByteWriter().u64(value).getvalue()
+
+
+@handler(TPM_ORD_ReadCounter)
+def tpm_read_counter(ctx: CommandContext) -> bytes:
+    """TPM_ReadCounter: unauthenticated read, as the spec allows."""
+    handle = ctx.reader.u32()
+    ctx.reader.expect_end()
+    counter = ctx.state.counters.get(handle)
+    return ByteWriter().u64(counter.value).getvalue()
+
+
+@handler(TPM_ORD_ReleaseCounter)
+def tpm_release_counter(ctx: CommandContext) -> bytes:
+    """TPM_ReleaseCounter (counter-auth): delete the counter."""
+    handle = ctx.reader.u32()
+    ctx.reader.expect_end()
+    counter = ctx.state.counters.get(handle)
+    ctx.verify_auth(counter.auth)
+    ctx.state.counters.release(handle)
+    return b""

@@ -1,0 +1,83 @@
+"""Non-volatile storage ordinals: NV_DefineSpace, NV_WriteValue, NV_ReadValue."""
+
+from __future__ import annotations
+
+from repro.tpm.constants import (
+    AUTHDATA_SIZE,
+    TPM_AUTH_CONFLICT,
+    TPM_ORD_NV_DefineSpace,
+    TPM_ORD_NV_ReadValue,
+    TPM_ORD_NV_WriteValue,
+    TPM_WRONGPCRVAL,
+)
+from repro.tpm.commands.storage import _read_optional_pcr_info
+from repro.tpm.dispatch import CommandContext, handler
+from repro.tpm.nvram import (
+    NV_PER_AUTHREAD,
+    NV_PER_AUTHWRITE,
+    NV_PER_OWNERREAD,
+    NV_PER_OWNERWRITE,
+)
+from repro.util.bytesio import ByteWriter
+from repro.util.errors import TpmError
+
+
+@handler(TPM_ORD_NV_DefineSpace)
+def tpm_nv_define_space(ctx: CommandContext) -> bytes:
+    """TPM_NV_DefineSpace (owner-authorized): create or delete an NV index."""
+    index = ctx.reader.u32()
+    size = ctx.reader.u32()
+    permissions = ctx.reader.u32()
+    area_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    pcr_info = _read_optional_pcr_info(ctx.reader)
+    ctx.reader.expect_end()
+    ctx.verify_auth(ctx.state.owner_auth)
+    ctx.state.nv.define(index, size, permissions, area_auth, pcr_info)
+    return b""
+
+
+def _check_nv_pcr(ctx: CommandContext, area) -> None:
+    if area.pcr_info is not None and area.pcr_info.selection:
+        current = ctx.state.pcrs.composite_digest(area.pcr_info.selection)
+        if current != area.pcr_info.digest_at_release:
+            raise TpmError(TPM_WRONGPCRVAL, "NV area PCR binding violated")
+
+
+@handler(TPM_ORD_NV_WriteValue)
+def tpm_nv_write_value(ctx: CommandContext) -> bytes:
+    """TPM_NV_WriteValue: write under owner or area auth per permissions."""
+    index = ctx.reader.u32()
+    offset = ctx.reader.u32()
+    data = ctx.reader.sized(max_size=1 << 16)
+    ctx.reader.expect_end()
+    area = ctx.state.nv.get(index)
+    if area.permissions & NV_PER_AUTHWRITE:
+        ctx.verify_auth(area.auth)
+    elif area.permissions & NV_PER_OWNERWRITE:
+        ctx.verify_auth(ctx.state.owner_auth)
+    else:
+        raise TpmError(TPM_AUTH_CONFLICT, "area has no write permission bits")
+    _check_nv_pcr(ctx, area)
+    ctx.state.nv.write(index, offset, data)
+    return b""
+
+
+@handler(TPM_ORD_NV_ReadValue)
+def tpm_nv_read_value(ctx: CommandContext) -> bytes:
+    """TPM_NV_ReadValue: read; unauthenticated only for open areas."""
+    index = ctx.reader.u32()
+    offset = ctx.reader.u32()
+    size = ctx.reader.u32()
+    ctx.reader.expect_end()
+    area = ctx.state.nv.get(index)
+    if area.permissions & NV_PER_AUTHREAD:
+        ctx.verify_auth(area.auth)
+    elif area.permissions & NV_PER_OWNERREAD:
+        ctx.verify_auth(ctx.state.owner_auth)
+    elif ctx.auth is not None:
+        # Open area but caller sent auth anyway: verify against area auth,
+        # mirroring real parts which accept it.
+        ctx.verify_auth(area.auth)
+    _check_nv_pcr(ctx, area)
+    data = ctx.state.nv.read(index, offset, size)
+    return ByteWriter().sized(data).getvalue()

@@ -1,0 +1,79 @@
+"""Ownership lifecycle: TakeOwnership, OwnerClear, ReadPubek."""
+
+from __future__ import annotations
+
+from repro.tpm.constants import (
+    AUTHDATA_SIZE,
+    TPM_DECRYPT_ERROR,
+    TPM_NO_ENDORSEMENT,
+    TPM_ORD_OwnerClear,
+    TPM_ORD_ReadPubek,
+    TPM_ORD_TakeOwnership,
+    TPM_OWNER_SET,
+)
+from repro.tpm.dispatch import CommandContext, handler
+from repro.util.bytesio import ByteWriter
+from repro.util.errors import CryptoError, TpmError
+
+
+@handler(TPM_ORD_TakeOwnership)
+def tpm_take_ownership(ctx: CommandContext) -> bytes:
+    """TPM_TakeOwnership: install the owner and generate the SRK.
+
+    The new owner and SRK AuthData arrive RSA-encrypted under the public EK,
+    so only this physical TPM can read them.  The AUTH1 trailer is keyed
+    with the *new* owner secret (spec behaviour: proves the caller knows
+    what it encrypted).
+    """
+    enc_owner_auth = ctx.reader.sized(max_size=1 << 12)
+    enc_srk_auth = ctx.reader.sized(max_size=1 << 12)
+    ctx.reader.expect_end()
+    if ctx.state.flags.owned:
+        raise TpmError(TPM_OWNER_SET, "TPM already has an owner")
+    ek = ctx.state.keys.ek
+    if ek is None:
+        raise TpmError(TPM_NO_ENDORSEMENT, "no endorsement key")
+    try:
+        owner_auth = ek.keypair.decrypt(enc_owner_auth)
+        srk_auth = ek.keypair.decrypt(enc_srk_auth)
+    except CryptoError as exc:
+        raise TpmError(TPM_DECRYPT_ERROR, f"bad encrypted auth: {exc}") from exc
+    if len(owner_auth) != AUTHDATA_SIZE or len(srk_auth) != AUTHDATA_SIZE:
+        raise TpmError(TPM_DECRYPT_ERROR, "auth secrets must be 20 bytes")
+    ctx.verify_auth(owner_auth)
+    ctx.state.install_owner(owner_auth, srk_auth)
+    srk = ctx.state.keys.srk
+    w = ByteWriter()
+    w.sized(srk.keypair.public.modulus_bytes())
+    w.u32(srk.keypair.public.e)
+    w.u32(srk.keypair.public.bits)
+    return w.getvalue()
+
+
+@handler(TPM_ORD_OwnerClear)
+def tpm_owner_clear(ctx: CommandContext) -> bytes:
+    """TPM_OwnerClear: owner-authorized factory reset of the hierarchy."""
+    ctx.reader.expect_end()
+    if not ctx.state.flags.owned:
+        raise TpmError(TPM_NO_ENDORSEMENT, "no owner installed")
+    ctx.verify_auth(ctx.state.owner_auth)
+    ctx.state.clear_owner()
+    return b""
+
+
+@handler(TPM_ORD_ReadPubek)
+def tpm_read_pubek(ctx: CommandContext) -> bytes:
+    """TPM_ReadPubek: the public endorsement key (pre-ownership only)."""
+    ctx.reader.expect_end()
+    if ctx.state.flags.owned:
+        # After ownership the pubek is only readable with owner auth;
+        # the reproduction does not need that path.
+        raise TpmError(TPM_OWNER_SET, "pubek locked after TakeOwnership")
+    ek = ctx.state.keys.ek
+    if ek is None:
+        raise TpmError(TPM_NO_ENDORSEMENT, "no endorsement key")
+    w = ByteWriter()
+    w.sized(ek.keypair.public.modulus_bytes())
+    w.u32(ek.keypair.public.e)
+    w.u32(ek.keypair.public.bits)
+    return w.getvalue()

@@ -1,0 +1,177 @@
+"""Attestation ordinals: Sign, Quote, MakeIdentity, ActivateIdentity."""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import sha1
+from repro.crypto.rsa import generate_keypair
+from repro.tpm.constants import (
+    AUTHDATA_SIZE,
+    DIGEST_SIZE,
+    TPM_AUTHFAIL,
+    TPM_BAD_DATASIZE,
+    TPM_DECRYPT_ERROR,
+    TPM_INVALID_KEYUSAGE,
+    TPM_KEY_IDENTITY,
+    TPM_KH_SRK,
+    TPM_NO_ENDORSEMENT,
+    TPM_ORD_ActivateIdentity,
+    TPM_ORD_CertifyKey,
+    TPM_ORD_MakeIdentity,
+    TPM_ORD_Quote,
+    TPM_ORD_Sign,
+    TPM_SS_RSASSAPKCS1v15_SHA1,
+    TPM_WRONGPCRVAL,
+)
+from repro.tpm.dispatch import CommandContext, handler
+from repro.tpm.pcr import PcrSelection
+from repro.tpm.structures import TpmKeyBlob, make_quote_info
+from repro.util.bytesio import ByteWriter
+from repro.util.errors import CryptoError, TpmError
+
+
+@handler(TPM_ORD_Sign)
+def tpm_sign(ctx: CommandContext) -> bytes:
+    """TPM_Sign: PKCS#1 v1.5 signature over a caller-supplied SHA-1 digest."""
+    key_handle = ctx.reader.u32()
+    area = ctx.reader.sized(max_size=1 << 12)
+    ctx.reader.expect_end()
+    key = ctx.state.keys.get(key_handle)
+    if not key.can_sign:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "Sign requires a signing key")
+    if len(area) != DIGEST_SIZE:
+        raise TpmError(
+            TPM_BAD_DATASIZE, f"areaToSign must be a {DIGEST_SIZE}-byte digest"
+        )
+    ctx.verify_auth(key.usage_auth)
+    # Keys PCR-bound at creation only operate in the matching platform state.
+    if key.pcr_info is not None and key.pcr_info.selection:
+        current = ctx.state.pcrs.composite_digest(key.pcr_info.selection)
+        if current != key.pcr_info.digest_at_release:
+            raise TpmError(TPM_WRONGPCRVAL, "key PCR binding violated")
+    signature = key.keypair.sign_sha1(area)
+    return ByteWriter().sized(signature).getvalue()
+
+
+@handler(TPM_ORD_Quote)
+def tpm_quote(ctx: CommandContext) -> bytes:
+    """TPM_Quote: sign the selected PCR composite plus a challenger nonce.
+
+    Out: composite digest, per-PCR values, signature over TPM_QUOTE_INFO.
+    """
+    key_handle = ctx.reader.u32()
+    external_data = ctx.reader.raw(DIGEST_SIZE)
+    selection = PcrSelection.deserialize(ctx.reader)
+    ctx.reader.expect_end()
+    key = ctx.state.keys.get(key_handle)
+    if not key.can_sign:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "Quote requires a signing/identity key")
+    ctx.verify_auth(key.usage_auth)
+    composite = ctx.state.pcrs.composite_digest(selection)
+    quote_info = make_quote_info(composite, external_data)
+    signature = key.keypair.sign_sha1(sha1(quote_info))
+    w = ByteWriter()
+    w.raw(composite)
+    values = b"".join(ctx.state.pcrs.read(i) for i in selection.indices)
+    w.sized(values)
+    w.sized(signature)
+    return w.getvalue()
+
+
+#: fixed prefix of TPM_CERTIFY_INFO in this implementation
+CERTIFY_FIXED = b"CERT"
+
+
+@handler(TPM_ORD_CertifyKey)
+def tpm_certify_key(ctx: CommandContext) -> bytes:
+    """TPM_CertifyKey: one loaded key attests another's properties.
+
+    Params: certHandle (the signing/identity key), keyHandle (the key to
+    certify), antiReplay(20), keyAuth(20 — the certified key's usage auth,
+    compared directly; the spec's second AUTH trailer collapsed as in
+    Unseal).  Out: sized certifyInfo, sized signature.
+    """
+    cert_handle = ctx.reader.u32()
+    key_handle = ctx.reader.u32()
+    anti_replay = ctx.reader.raw(DIGEST_SIZE)
+    key_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    ctx.reader.expect_end()
+    cert_key = ctx.state.keys.get(cert_handle)
+    if not cert_key.can_sign:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "certifying key must sign")
+    target = ctx.state.keys.get(key_handle)
+    ctx.verify_auth(cert_key.usage_auth)
+    from repro.crypto.hmac_util import constant_time_equal
+
+    if not constant_time_equal(target.usage_auth, key_auth):
+        raise TpmError(TPM_AUTHFAIL, "certified key auth mismatch")
+    w = ByteWriter()
+    w.raw(CERTIFY_FIXED)
+    w.u16(target.usage)
+    w.sized(target.keypair.public.modulus_bytes())
+    w.u32(target.keypair.public.e)
+    w.raw(anti_replay)
+    if target.pcr_info is not None and target.pcr_info.selection:
+        w.u8(1)
+        w.raw(target.pcr_info.digest_at_release)
+    else:
+        w.u8(0)
+    certify_info = w.getvalue()
+    signature = cert_key.keypair.sign_sha1(sha1(certify_info))
+    out = ByteWriter()
+    out.sized(certify_info)
+    out.sized(signature)
+    return out.getvalue()
+
+
+@handler(TPM_ORD_MakeIdentity)
+def tpm_make_identity(ctx: CommandContext) -> bytes:
+    """TPM_MakeIdentity: mint an AIK under the SRK (owner-authorized).
+
+    Params: identityAuth(20), sized labelDigest.  The full Privacy-CA
+    binding payload is omitted; the emulator returns the wrapped AIK blob,
+    which is all the attestation experiments consume.
+    """
+    identity_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    label = ctx.reader.sized(max_size=256)
+    ctx.reader.expect_end()
+    if not ctx.state.flags.owned:
+        raise TpmError(TPM_NO_ENDORSEMENT, "TakeOwnership first")
+    ctx.verify_auth(ctx.state.owner_auth)
+    srk = ctx.state.keys.get(TPM_KH_SRK)
+    aik_pair = generate_keypair(ctx.state.key_bits, ctx.state.rng)
+    blob = TpmKeyBlob.wrap(
+        parent=srk.keypair,
+        keypair=aik_pair,
+        usage=TPM_KEY_IDENTITY,
+        usage_auth=identity_auth,
+        migration_auth=ctx.state.tpm_proof,
+        rng=ctx.state.rng,
+        scheme=TPM_SS_RSASSAPKCS1v15_SHA1,
+    )
+    w = ByteWriter()
+    w.sized(blob.serialize())
+    # Bind the label into the reply so a CA can tie blob to request.
+    w.sized(sha1(label + aik_pair.public.modulus_bytes()))
+    return w.getvalue()
+
+
+@handler(TPM_ORD_ActivateIdentity)
+def tpm_activate_identity(ctx: CommandContext) -> bytes:
+    """TPM_ActivateIdentity: recover a CA session key encrypted to the EK."""
+    id_key_handle = ctx.reader.u32()
+    enc_blob = ctx.reader.sized(max_size=1 << 12)
+    ctx.reader.expect_end()
+    if not ctx.state.flags.owned:
+        raise TpmError(TPM_NO_ENDORSEMENT, "TakeOwnership first")
+    key = ctx.state.keys.get(id_key_handle)
+    if key.usage != TPM_KEY_IDENTITY:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "handle is not an identity key")
+    ctx.verify_auth(ctx.state.owner_auth)
+    ek = ctx.state.keys.ek
+    if ek is None:
+        raise TpmError(TPM_NO_ENDORSEMENT, "no endorsement key")
+    try:
+        sym_key = ek.keypair.decrypt(enc_blob)
+    except CryptoError as exc:
+        raise TpmError(TPM_DECRYPT_ERROR, f"activation blob: {exc}") from exc
+    return ByteWriter().sized(sym_key).getvalue()

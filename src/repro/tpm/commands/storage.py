@@ -1,0 +1,218 @@
+"""Protected-storage ordinals: Seal/Unseal, UnBind, key creation/loading."""
+
+from __future__ import annotations
+
+from repro.crypto.kdf import derive_key
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.symmetric import EncryptedBlob, SymmetricKey
+from repro.tpm.constants import (
+    AUTHDATA_SIZE,
+    TPM_BAD_DATASIZE,
+    TPM_BAD_KEY_PROPERTY,
+    TPM_BAD_PARAMETER,
+    TPM_AUTHFAIL,
+    TPM_DECRYPT_ERROR,
+    TPM_INVALID_KEYUSAGE,
+    TPM_KEY_BIND,
+    TPM_KEY_LEGACY,
+    TPM_KEY_STORAGE,
+    TPM_NOTSEALED_BLOB,
+    TPM_ORD_CreateWrapKey,
+    TPM_ORD_GetPubKey,
+    TPM_ORD_LoadKey2,
+    TPM_ORD_Seal,
+    TPM_ORD_UnBind,
+    TPM_ORD_Unseal,
+    TPM_WRONGPCRVAL,
+    KEY_USAGE_NAMES,
+)
+from repro.tpm.dispatch import CommandContext, handler
+from repro.tpm.keys import LoadedKey
+from repro.tpm.structures import (
+    SealedBlob,
+    SealedPayload,
+    TpmKeyBlob,
+    TpmPcrInfo,
+)
+from repro.util.bytesio import ByteReader, ByteWriter
+from repro.util.errors import CryptoError, MarshalError, TpmError
+
+
+def _seal_cipher_for(key: LoadedKey) -> SymmetricKey:
+    """Deterministic per-storage-key sealing cipher (see structures.py note)."""
+    secret = key.keypair.d.to_bytes((key.keypair.d.bit_length() + 7) // 8, "big")
+    return SymmetricKey(derive_key(secret, b"tpm-seal-v1", b"sealing", 32))
+
+
+def _read_optional_pcr_info(reader: ByteReader) -> TpmPcrInfo | None:
+    """A u32-length-prefixed TPM_PCR_INFO; zero length means unbound."""
+    length = reader.u32()
+    if length == 0:
+        return None
+    sub = ByteReader(reader.raw(length))
+    info = TpmPcrInfo.deserialize(sub)
+    sub.expect_end()
+    return info
+
+
+def _check_pcr_binding(ctx: CommandContext, info: TpmPcrInfo | None) -> None:
+    """Enforce digestAtRelease against the live PCR bank."""
+    if info is None or not info.selection:
+        return
+    current = ctx.state.pcrs.composite_digest(info.selection)
+    if current != info.digest_at_release:
+        raise TpmError(TPM_WRONGPCRVAL, "PCR composite does not match digestAtRelease")
+
+
+@handler(TPM_ORD_Seal)
+def tpm_seal(ctx: CommandContext) -> bytes:
+    """TPM_Seal: bind data to this TPM (and optionally to PCR state).
+
+    Params: keyHandle, dataAuth(20), optional pcrInfo, sized data.
+    Requires an OSAP session on the storage key (spec rule: the sealing
+    secret must be session-bound, never sent raw).
+    """
+    key_handle = ctx.reader.u32()
+    data_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    pcr_info = _read_optional_pcr_info(ctx.reader)
+    data = ctx.reader.sized(max_size=1 << 16)
+    ctx.reader.expect_end()
+    key = ctx.state.keys.get(key_handle)
+    if key.usage != TPM_KEY_STORAGE:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "Seal requires a storage key")
+    session = ctx.verify_auth(key.usage_auth)
+    if session.kind != "osap":
+        raise TpmError(TPM_AUTHFAIL, "Seal requires an OSAP session")
+    payload = SealedPayload(auth=data_auth, data=data)
+    enc = _seal_cipher_for(key).encrypt(payload.serialize(), ctx.state.rng)
+    blob = SealedBlob(pcr_info=pcr_info, enc_payload=enc)
+    return ByteWriter().sized(blob.serialize()).getvalue()
+
+
+@handler(TPM_ORD_Unseal)
+def tpm_unseal(ctx: CommandContext) -> bytes:
+    """TPM_Unseal: release sealed data if PCRs and auth match.
+
+    Params: keyHandle, dataAuth(20), sized blob.  The AUTH1 trailer proves
+    the parent key auth; ``dataAuth`` must equal the secret stored at seal
+    time (the spec uses a second trailer for this — collapsed here to a
+    direct comparison with identical security semantics).
+    """
+    key_handle = ctx.reader.u32()
+    data_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    blob_bytes = ctx.reader.sized(max_size=1 << 20)
+    ctx.reader.expect_end()
+    key = ctx.state.keys.get(key_handle)
+    if key.usage != TPM_KEY_STORAGE:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "Unseal requires a storage key")
+    ctx.verify_auth(key.usage_auth)
+    try:
+        blob = SealedBlob.deserialize(blob_bytes)
+    except MarshalError as exc:
+        raise TpmError(TPM_NOTSEALED_BLOB, f"bad sealed blob: {exc}") from exc
+    _check_pcr_binding(ctx, blob.pcr_info)
+    try:
+        payload = SealedPayload.deserialize(
+            _seal_cipher_for(key).decrypt(blob.enc_payload)
+        )
+    except (CryptoError, MarshalError) as exc:
+        raise TpmError(TPM_DECRYPT_ERROR, f"unseal failed: {exc}") from exc
+    if payload.auth != data_auth:
+        raise TpmError(TPM_AUTHFAIL, "sealed-data auth mismatch")
+    return ByteWriter().sized(payload.data).getvalue()
+
+
+@handler(TPM_ORD_UnBind)
+def tpm_unbind(ctx: CommandContext) -> bytes:
+    """TPM_UnBind: decrypt data bound (outside the TPM) to a bind key."""
+    key_handle = ctx.reader.u32()
+    enc_data = ctx.reader.sized(max_size=1 << 12)
+    ctx.reader.expect_end()
+    key = ctx.state.keys.get(key_handle)
+    if key.usage not in (TPM_KEY_BIND, TPM_KEY_LEGACY):
+        raise TpmError(TPM_INVALID_KEYUSAGE, "UnBind requires a bind key")
+    ctx.verify_auth(key.usage_auth)
+    try:
+        clear = key.keypair.decrypt(enc_data)
+    except CryptoError as exc:
+        raise TpmError(TPM_DECRYPT_ERROR, f"unbind failed: {exc}") from exc
+    return ByteWriter().sized(clear).getvalue()
+
+
+@handler(TPM_ORD_CreateWrapKey)
+def tpm_create_wrap_key(ctx: CommandContext) -> bytes:
+    """TPM_CreateWrapKey: generate a child key wrapped under a storage parent.
+
+    Params: parentHandle, usageAuth(20), migrationAuth(20), keyUsage(u16),
+    keyBits(u32), optional pcrInfo.
+    """
+    parent_handle = ctx.reader.u32()
+    usage_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    migration_auth = ctx.reader.raw(AUTHDATA_SIZE)
+    key_usage = ctx.reader.u16()
+    key_bits = ctx.reader.u32()
+    pcr_info = _read_optional_pcr_info(ctx.reader)
+    ctx.reader.expect_end()
+    parent = ctx.state.keys.get(parent_handle)
+    if parent.usage != TPM_KEY_STORAGE:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "parent must be a storage key")
+    if key_usage not in KEY_USAGE_NAMES:
+        raise TpmError(TPM_BAD_KEY_PROPERTY, f"unknown key usage {key_usage:#x}")
+    if key_usage == TPM_KEY_STORAGE and pcr_info is not None:
+        raise TpmError(TPM_BAD_KEY_PROPERTY, "storage keys cannot be PCR-bound here")
+    if not 512 <= key_bits <= 2048:
+        raise TpmError(TPM_BAD_PARAMETER, f"keyBits {key_bits} unsupported")
+    ctx.verify_auth(parent.usage_auth)
+    keypair = generate_keypair(key_bits, ctx.state.rng)
+    blob = TpmKeyBlob.wrap(
+        parent=parent.keypair,
+        keypair=keypair,
+        usage=key_usage,
+        usage_auth=usage_auth,
+        migration_auth=migration_auth,
+        rng=ctx.state.rng,
+        pcr_info=pcr_info,
+    )
+    return ByteWriter().sized(blob.serialize()).getvalue()
+
+
+@handler(TPM_ORD_LoadKey2)
+def tpm_load_key2(ctx: CommandContext) -> bytes:
+    """TPM_LoadKey2: unwrap a key blob into a volatile slot."""
+    parent_handle = ctx.reader.u32()
+    blob_bytes = ctx.reader.sized(max_size=1 << 16)
+    ctx.reader.expect_end()
+    parent = ctx.state.keys.get(parent_handle)
+    if parent.usage != TPM_KEY_STORAGE:
+        raise TpmError(TPM_INVALID_KEYUSAGE, "parent must be a storage key")
+    ctx.verify_auth(parent.usage_auth)
+    try:
+        blob = TpmKeyBlob.deserialize(blob_bytes)
+    except MarshalError as exc:
+        raise TpmError(TPM_BAD_DATASIZE, f"bad key blob: {exc}") from exc
+    portion = blob.unwrap(parent.keypair)
+    key = LoadedKey(
+        handle=0,
+        usage=blob.usage,
+        keypair=portion.keypair,
+        usage_auth=portion.usage_auth,
+        migration_auth=portion.migration_auth,
+        pcr_info=blob.pcr_info,
+        parent_handle=parent_handle,
+    )
+    handle = ctx.state.keys.load(key)
+    return ByteWriter().u32(handle).getvalue()
+
+
+@handler(TPM_ORD_GetPubKey)
+def tpm_get_pub_key(ctx: CommandContext) -> bytes:
+    """TPM_GetPubKey: public half of a loaded key (key-auth protected)."""
+    key_handle = ctx.reader.u32()
+    ctx.reader.expect_end()
+    key = ctx.state.keys.get(key_handle)
+    ctx.verify_auth(key.usage_auth)
+    w = ByteWriter()
+    w.sized(key.keypair.public.modulus_bytes())
+    w.u32(key.keypair.public.e)
+    w.u32(key.keypair.public.bits)
+    return w.getvalue()

@@ -1,0 +1,75 @@
+"""Monotonic counters (TPM_CreateCounter / Increment / Read / Release).
+
+Monotonic counters defeat state-rollback: the vTPM migration protocol and
+the sealed-storage example both stamp counter values into their payloads so
+a replayed old state is detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tpm.constants import MAX_COUNTERS, TPM_BAD_COUNTER, TPM_RESOURCES
+from repro.util.errors import TpmError
+
+
+@dataclass
+class Counter:
+    """One monotonic counter."""
+
+    handle: int
+    label: bytes
+    value: int
+    auth: bytes
+
+
+class CounterTable:
+    """Counter space of one TPM.
+
+    TPM 1.2 allows only one increment per "counter session" per boot tick;
+    we keep the simpler invariant that values never decrease, which is the
+    property the protocols above rely on.
+    """
+
+    _FIRST_HANDLE = 0x03000000
+
+    def __init__(self, max_counters: int = MAX_COUNTERS) -> None:
+        self.max_counters = max_counters
+        self._counters: Dict[int, Counter] = {}
+        self._next_handle = self._FIRST_HANDLE
+        # Global base: a new counter starts above every value any prior
+        # counter ever reached, as the spec requires.
+        self._high_water = 0
+
+    def create(self, label: bytes, auth: bytes) -> Counter:
+        if len(self._counters) >= self.max_counters:
+            raise TpmError(TPM_RESOURCES, "no free counters")
+        if len(label) != 4:
+            raise TpmError(TPM_BAD_COUNTER, "counter label must be 4 bytes")
+        handle = self._next_handle
+        self._next_handle += 1
+        counter = Counter(handle=handle, label=label, value=self._high_water + 1, auth=auth)
+        self._high_water = counter.value
+        self._counters[handle] = counter
+        return counter
+
+    def get(self, handle: int) -> Counter:
+        try:
+            return self._counters[handle]
+        except KeyError:
+            raise TpmError(TPM_BAD_COUNTER, f"no counter {handle:#x}") from None
+
+    def increment(self, handle: int) -> int:
+        counter = self.get(handle)
+        counter.value += 1
+        self._high_water = max(self._high_water, counter.value)
+        return counter.value
+
+    def release(self, handle: int) -> None:
+        if handle not in self._counters:
+            raise TpmError(TPM_BAD_COUNTER, f"no counter {handle:#x}")
+        del self._counters[handle]
+
+    def counters(self) -> list[Counter]:
+        return [self._counters[h] for h in sorted(self._counters)]

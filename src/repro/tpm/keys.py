@@ -1,0 +1,132 @@
+"""Loaded-key management: the TPM's volatile key slots.
+
+A TPM 1.2 part has a small number of internal key slots; TPM_LoadKey2
+decrypts a wrapped blob into a slot and hands back a handle, and
+TPM_FlushSpecific evicts.  The SRK and EK are permanent residents with
+well-known handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.rsa import RsaKeyPair
+from repro.tpm.constants import (
+    MAX_KEY_SLOTS,
+    TPM_INVALID_KEYHANDLE,
+    TPM_KH_EK,
+    TPM_KH_SRK,
+    TPM_KEY_IDENTITY,
+    TPM_KEY_SIGNING,
+    TPM_KEY_STORAGE,
+    TPM_RESOURCES,
+)
+from repro.tpm.structures import TpmPcrInfo
+from repro.util.errors import TpmError
+
+
+@dataclass
+class LoadedKey:
+    """A key resident in a TPM slot."""
+
+    handle: int
+    usage: int
+    keypair: RsaKeyPair
+    usage_auth: bytes
+    migration_auth: bytes
+    pcr_info: Optional[TpmPcrInfo] = None
+    parent_handle: int = TPM_KH_SRK
+
+    @property
+    def can_sign(self) -> bool:
+        return self.usage in (TPM_KEY_SIGNING, TPM_KEY_IDENTITY)
+
+    @property
+    def can_store(self) -> bool:
+        return self.usage == TPM_KEY_STORAGE
+
+
+class KeySlots:
+    """Handle table for volatile loaded keys plus the permanent SRK/EK."""
+
+    _FIRST_HANDLE = 0x01000000
+
+    def __init__(self, max_slots: int = MAX_KEY_SLOTS) -> None:
+        self.max_slots = max_slots
+        self._slots: Dict[int, LoadedKey] = {}
+        self._next_handle = self._FIRST_HANDLE
+        self._srk: Optional[LoadedKey] = None
+        self._ek: Optional[LoadedKey] = None
+
+    # -- permanent keys -----------------------------------------------------
+
+    def install_srk(self, key: LoadedKey) -> None:
+        key.handle = TPM_KH_SRK
+        self._srk = key
+
+    def install_ek(self, key: LoadedKey) -> None:
+        key.handle = TPM_KH_EK
+        self._ek = key
+
+    def clear_srk(self) -> None:
+        self._srk = None
+
+    @property
+    def srk(self) -> Optional[LoadedKey]:
+        return self._srk
+
+    @property
+    def ek(self) -> Optional[LoadedKey]:
+        return self._ek
+
+    # -- volatile slots -----------------------------------------------------
+
+    def load(self, key: LoadedKey) -> int:
+        """Place a key into a free slot; returns its new handle."""
+        if len(self._slots) >= self.max_slots:
+            raise TpmError(TPM_RESOURCES, "no free key slots")
+        handle = self._next_handle
+        self._next_handle += 1
+        key.handle = handle
+        self._slots[handle] = key
+        return handle
+
+    def get(self, handle: int) -> LoadedKey:
+        """Resolve a handle (including the permanent SRK/EK handles)."""
+        if handle == TPM_KH_SRK:
+            if self._srk is None:
+                raise TpmError(TPM_INVALID_KEYHANDLE, "no SRK (take ownership first)")
+            return self._srk
+        if handle == TPM_KH_EK:
+            if self._ek is None:
+                raise TpmError(TPM_INVALID_KEYHANDLE, "no EK")
+            return self._ek
+        try:
+            return self._slots[handle]
+        except KeyError:
+            raise TpmError(
+                TPM_INVALID_KEYHANDLE, f"no loaded key at handle {handle:#x}"
+            ) from None
+
+    def evict(self, handle: int) -> None:
+        if handle in (TPM_KH_SRK, TPM_KH_EK):
+            raise TpmError(TPM_INVALID_KEYHANDLE, "cannot evict permanent keys")
+        if handle not in self._slots:
+            raise TpmError(TPM_INVALID_KEYHANDLE, f"no loaded key at {handle:#x}")
+        del self._slots[handle]
+
+    def evict_all(self) -> None:
+        """Volatile keys vanish at TPM_Startup(ST_CLEAR)."""
+        self._slots.clear()
+
+    @property
+    def loaded_count(self) -> int:
+        return len(self._slots)
+
+    def handles(self) -> list[int]:
+        return sorted(self._slots)
+
+    def loaded_keys(self) -> list[LoadedKey]:
+        """All volatile keys (state serialization / secret scanning)."""
+        return [self._slots[h] for h in sorted(self._slots)]

@@ -1,0 +1,131 @@
+"""Non-volatile storage (TPM_NV_*).
+
+A small authenticated data area indexed by 32-bit NV indices, each with
+owner-defined size, optional per-area auth, optional PCR binding and
+write-once locking.  vTPM instances use NV areas for guest configuration
+blobs; the attack experiments use them as the canonical "secret at rest".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.timing import charge
+from repro.tpm.constants import (
+    MAX_NV_SPACE,
+    TPM_AREA_LOCKED,
+    TPM_BADINDEX,
+    TPM_BAD_DATASIZE,
+    TPM_NOSPACE,
+    TPM_NOT_FULLWRITE,
+)
+from repro.tpm.structures import TpmPcrInfo
+from repro.util.errors import TpmError
+
+#: permission attribute bits (subset of TPM_NV_PER_*)
+NV_PER_OWNERWRITE = 0x00000002
+NV_PER_AUTHWRITE = 0x00000004
+NV_PER_WRITEDEFINE = 0x00002000  # lock on a size-0 write
+NV_PER_AUTHREAD = 0x00040000
+NV_PER_OWNERREAD = 0x00020000
+
+
+@dataclass
+class NvArea:
+    """One defined NV index."""
+
+    index: int
+    size: int
+    permissions: int
+    auth: bytes
+    pcr_info: Optional[TpmPcrInfo] = None
+    data: bytes = b""
+    write_locked: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = b"\xff" * self.size  # erased-flash convention
+
+
+class NvStorage:
+    """The NV index space of one TPM."""
+
+    def __init__(self, capacity: int = MAX_NV_SPACE) -> None:
+        self.capacity = capacity
+        self._areas: Dict[int, NvArea] = {}
+
+    @property
+    def used(self) -> int:
+        return sum(a.size for a in self._areas.values())
+
+    def define(
+        self,
+        index: int,
+        size: int,
+        permissions: int,
+        auth: bytes,
+        pcr_info: Optional[TpmPcrInfo] = None,
+    ) -> NvArea:
+        """TPM_NV_DefineSpace; size 0 deletes an existing index."""
+        charge("tpm.nv.access")
+        if index == 0:
+            raise TpmError(TPM_BADINDEX, "NV index 0 is reserved")
+        if size == 0:
+            if index not in self._areas:
+                raise TpmError(TPM_BADINDEX, f"NV index {index:#x} not defined")
+            del self._areas[index]
+            return NvArea(index=index, size=0, permissions=0, auth=b"")
+        if index in self._areas:
+            raise TpmError(TPM_BADINDEX, f"NV index {index:#x} already defined")
+        if self.used + size > self.capacity:
+            raise TpmError(
+                TPM_NOSPACE,
+                f"NV full: {self.used}+{size} exceeds {self.capacity} bytes",
+            )
+        area = NvArea(
+            index=index, size=size, permissions=permissions, auth=auth, pcr_info=pcr_info
+        )
+        self._areas[index] = area
+        return area
+
+    def get(self, index: int) -> NvArea:
+        try:
+            return self._areas[index]
+        except KeyError:
+            raise TpmError(TPM_BADINDEX, f"NV index {index:#x} not defined") from None
+
+    def write(self, index: int, offset: int, data: bytes) -> None:
+        """TPM_NV_WriteValue (auth checked by the command layer)."""
+        charge("tpm.nv.access")
+        area = self.get(index)
+        if area.write_locked:
+            raise TpmError(TPM_AREA_LOCKED, f"NV index {index:#x} is write-locked")
+        if len(data) == 0 and area.permissions & NV_PER_WRITEDEFINE:
+            area.write_locked = True
+            return
+        if offset < 0 or offset + len(data) > area.size:
+            raise TpmError(
+                TPM_BAD_DATASIZE,
+                f"write of {len(data)} at {offset} exceeds area size {area.size}",
+            )
+        buf = bytearray(area.data)
+        buf[offset : offset + len(data)] = data
+        area.data = bytes(buf)
+
+    def read(self, index: int, offset: int, size: int) -> bytes:
+        """TPM_NV_ReadValue (auth checked by the command layer)."""
+        charge("tpm.nv.access")
+        area = self.get(index)
+        if offset < 0 or offset + size > area.size:
+            raise TpmError(
+                TPM_NOT_FULLWRITE,
+                f"read of {size} at {offset} exceeds area size {area.size}",
+            )
+        return area.data[offset : offset + size]
+
+    def indices(self) -> list[int]:
+        return sorted(self._areas)
+
+    def areas(self) -> list[NvArea]:
+        return [self._areas[i] for i in sorted(self._areas)]

@@ -1,0 +1,162 @@
+"""OIAP/OSAP authorization sessions.
+
+TPM 1.2 proves knowledge of an entity's AuthData without sending it:
+each authorized command carries ``HMAC(secret, paramDigest || nonceEven ||
+nonceOdd || continueAuthSession)`` over rolling nonces (the 1.2 "1H1"
+protocol).  OIAP sessions authorize any entity with its own secret; OSAP
+sessions bind to one entity and HMAC with a *shared secret* derived from
+the entity secret and the OSAP nonces, which is what TPM_Seal requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.hmac_util import constant_time_equal, hmac_sha1
+from repro.crypto.random_source import RandomSource
+from repro.tpm.constants import (
+    MAX_SESSIONS,
+    NONCE_SIZE,
+    TPM_AUTHFAIL,
+    TPM_INVALID_AUTHHANDLE,
+    TPM_RESOURCES,
+)
+from repro.util.errors import TpmError
+
+
+@dataclass
+class AuthSession:
+    """A live authorization session inside the TPM."""
+
+    handle: int
+    kind: str                 # "oiap" | "osap"
+    nonce_even: bytes         # TPM-generated, rolls every use
+    entity_type: int = 0      # OSAP only
+    entity_value: int = 0     # OSAP only
+    shared_secret: bytes = b""  # OSAP only
+
+    def hmac_key(self, entity_secret: bytes) -> bytes:
+        """The key used for auth HMACs on this session."""
+        return self.shared_secret if self.kind == "osap" else entity_secret
+
+
+def osap_shared_secret(
+    entity_secret: bytes, nonce_even_osap: bytes, nonce_odd_osap: bytes
+) -> bytes:
+    """OSAP shared secret: HMAC(entitySecret, nonceEvenOSAP || nonceOddOSAP)."""
+    return hmac_sha1(entity_secret, nonce_even_osap + nonce_odd_osap)
+
+
+def compute_auth(
+    hmac_key: bytes,
+    param_digest: bytes,
+    nonce_even: bytes,
+    nonce_odd: bytes,
+    continue_session: bool,
+) -> bytes:
+    """The 1H1 authorization HMAC (same formula on both sides of the wire)."""
+    return hmac_sha1(
+        hmac_key,
+        param_digest + nonce_even + nonce_odd + bytes([1 if continue_session else 0]),
+    )
+
+
+class SessionTable:
+    """All live auth sessions of one TPM."""
+
+    _FIRST_HANDLE = 0x02000000
+
+    def __init__(self, rng: RandomSource, max_sessions: int = MAX_SESSIONS) -> None:
+        self._rng = rng
+        self.max_sessions = max_sessions
+        self._sessions: Dict[int, AuthSession] = {}
+        self._next_handle = self._FIRST_HANDLE
+
+    def _new_handle(self) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        return handle
+
+    def open_oiap(self) -> AuthSession:
+        if len(self._sessions) >= self.max_sessions:
+            raise TpmError(TPM_RESOURCES, "no free auth sessions")
+        session = AuthSession(
+            handle=self._new_handle(), kind="oiap", nonce_even=self._rng.nonce()
+        )
+        self._sessions[session.handle] = session
+        return session
+
+    def open_osap(
+        self,
+        entity_type: int,
+        entity_value: int,
+        entity_secret: bytes,
+        nonce_odd_osap: bytes,
+    ) -> tuple[AuthSession, bytes]:
+        """Open an OSAP session; returns (session, nonceEvenOSAP)."""
+        if len(self._sessions) >= self.max_sessions:
+            raise TpmError(TPM_RESOURCES, "no free auth sessions")
+        if len(nonce_odd_osap) != NONCE_SIZE:
+            raise TpmError(TPM_AUTHFAIL, "bad OSAP nonce size")
+        nonce_even_osap = self._rng.nonce()
+        session = AuthSession(
+            handle=self._new_handle(),
+            kind="osap",
+            nonce_even=self._rng.nonce(),
+            entity_type=entity_type,
+            entity_value=entity_value,
+            shared_secret=osap_shared_secret(
+                entity_secret, nonce_even_osap, nonce_odd_osap
+            ),
+        )
+        self._sessions[session.handle] = session
+        return session, nonce_even_osap
+
+    def get(self, handle: int) -> AuthSession:
+        try:
+            return self._sessions[handle]
+        except KeyError:
+            raise TpmError(
+                TPM_INVALID_AUTHHANDLE, f"no auth session {handle:#x}"
+            ) from None
+
+    def verify_and_roll(
+        self,
+        session: AuthSession,
+        entity_secret: bytes,
+        param_digest: bytes,
+        nonce_odd: bytes,
+        continue_session: bool,
+        presented_auth: bytes,
+    ) -> bytes:
+        """Verify a command auth trailer; on success roll nonceEven.
+
+        Returns the *new* nonceEven for the response trailer.  On failure the
+        session is terminated (as the spec requires) and TPM_AUTHFAIL raised.
+        """
+        expected = compute_auth(
+            session.hmac_key(entity_secret),
+            param_digest,
+            session.nonce_even,
+            nonce_odd,
+            continue_session,
+        )
+        if not constant_time_equal(expected, presented_auth):
+            self.close(session.handle)
+            raise TpmError(TPM_AUTHFAIL, "authorization HMAC mismatch")
+        new_even = self._rng.nonce()
+        session.nonce_even = new_even
+        if not continue_session:
+            self.close(session.handle)
+        return new_even
+
+    def close(self, handle: int) -> None:
+        self._sessions.pop(handle, None)
+
+    def flush_all(self) -> None:
+        self._sessions.clear()
+
+    @property
+    def open_count(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,317 @@
+"""Wire structures: PCR info, wrapped key blobs, sealed blobs, quote info.
+
+These are the persistent/portable artifacts a TPM emits.  Layouts follow
+TPM 1.2 Part 2 in shape (field order, sized buffers, big-endian) with one
+documented simplification: private portions are protected by an
+authenticated symmetric cipher keyed from the parent storage key via HKDF,
+rather than the spec's internal RSA/XOR encodings.  The security contract
+is identical — only the holder of the parent private key can unwrap — and
+the timing model charges bulk-cipher rates either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.kdf import derive_key
+from repro.crypto.random_source import RandomSource
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.crypto.symmetric import EncryptedBlob, SymmetricKey
+from repro.tpm.constants import (
+    AUTHDATA_SIZE,
+    DIGEST_SIZE,
+    KEY_USAGE_NAMES,
+    TPM_ALG_RSA,
+    TPM_BAD_PARAMETER,
+    TPM_DECRYPT_ERROR,
+    TPM_ES_RSAESPKCSv15,
+    TPM_SS_RSASSAPKCS1v15_SHA1,
+)
+from repro.tpm.pcr import PcrSelection
+from repro.util.bytesio import ByteReader, ByteWriter
+from repro.util.errors import CryptoError, MarshalError, TpmError
+
+#: TPM_STRUCT_VER for 1.2 structures
+STRUCT_VERSION = bytes((1, 1, 0, 0))
+QUOTE_FIXED = b"QUOT"
+SEAL_FIXED = b"SEAL"
+
+
+@dataclass(frozen=True)
+class TpmPcrInfo:
+    """TPM_PCR_INFO: bind an object to platform state.
+
+    ``digest_at_release`` is the PCR composite that must hold when the
+    object is used (unseal / loaded-key use).
+    """
+
+    selection: PcrSelection
+    digest_at_release: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest_at_release) != DIGEST_SIZE:
+            raise MarshalError("digestAtRelease must be a SHA-1 digest")
+
+    def serialize(self) -> bytes:
+        w = ByteWriter()
+        w.raw(self.selection.serialize())
+        w.raw(self.digest_at_release)
+        return w.getvalue()
+
+    @staticmethod
+    def deserialize(reader: ByteReader) -> "TpmPcrInfo":
+        selection = PcrSelection.deserialize(reader)
+        digest = reader.raw(DIGEST_SIZE)
+        return TpmPcrInfo(selection=selection, digest_at_release=digest)
+
+
+def _wrap_cipher_for(parent: RsaKeyPair) -> SymmetricKey:
+    """Symmetric wrapping key derived from the parent storage key.
+
+    Deterministic per parent, so blobs created before a state save/restore
+    still unwrap afterwards.
+    """
+    secret = parent.d.to_bytes((parent.d.bit_length() + 7) // 8, "big")
+    return SymmetricKey(derive_key(secret, b"tpm-wrap-v1", b"storage-wrap", 32))
+
+
+@dataclass(frozen=True)
+class PrivatePortion:
+    """What lives inside the encrypted half of a key blob."""
+
+    keypair: RsaKeyPair
+    usage_auth: bytes
+    migration_auth: bytes
+
+    def serialize(self) -> bytes:
+        w = ByteWriter()
+        w.sized(self.keypair.serialize_private())
+        w.raw(self.usage_auth)
+        w.raw(self.migration_auth)
+        return w.getvalue()
+
+    @staticmethod
+    def deserialize(data: bytes) -> "PrivatePortion":
+        r = ByteReader(data)
+        keypair = RsaKeyPair.deserialize_private(r.sized(max_size=1 << 16))
+        usage_auth = r.raw(AUTHDATA_SIZE)
+        migration_auth = r.raw(AUTHDATA_SIZE)
+        r.expect_end()
+        return PrivatePortion(
+            keypair=keypair, usage_auth=usage_auth, migration_auth=migration_auth
+        )
+
+
+@dataclass(frozen=True)
+class TpmKeyBlob:
+    """TPM_KEY12-shaped wrapped key: public half in clear, private encrypted.
+
+    Produced by TPM_CreateWrapKey / TPM_MakeIdentity; consumed by
+    TPM_LoadKey2.  Only the parent storage key can decrypt ``enc_private``.
+    """
+
+    usage: int
+    scheme: int
+    public: RsaPublicKey
+    enc_private: EncryptedBlob
+    pcr_info: Optional[TpmPcrInfo] = None
+
+    def serialize(self) -> bytes:
+        w = ByteWriter()
+        w.raw(STRUCT_VERSION)
+        w.u16(self.usage)
+        w.u16(self.scheme)
+        w.u32(TPM_ALG_RSA)
+        w.u32(self.public.bits)
+        w.sized(self.public.modulus_bytes())
+        w.u32(self.public.e)
+        if self.pcr_info is not None:
+            pcr_blob = self.pcr_info.serialize()
+            w.u32(len(pcr_blob))
+            w.raw(pcr_blob)
+        else:
+            w.u32(0)
+        w.sized(self.enc_private.serialize())
+        return w.getvalue()
+
+    @staticmethod
+    def deserialize(data: bytes) -> "TpmKeyBlob":
+        r = ByteReader(data)
+        version = r.raw(4)
+        if version != STRUCT_VERSION:
+            raise MarshalError(f"unsupported key struct version {version.hex()}")
+        usage = r.u16()
+        scheme = r.u16()
+        alg = r.u32()
+        if alg != TPM_ALG_RSA:
+            raise MarshalError(f"unsupported key algorithm {alg:#x}")
+        bits = r.u32()
+        modulus = r.sized(max_size=1 << 12)
+        exponent = r.u32()
+        pcr_len = r.u32()
+        pcr_info = None
+        if pcr_len:
+            sub = ByteReader(r.raw(pcr_len))
+            pcr_info = TpmPcrInfo.deserialize(sub)
+            sub.expect_end()
+        enc_private = EncryptedBlob.deserialize(r.sized(max_size=1 << 16))
+        r.expect_end()
+        public = RsaPublicKey(n=int.from_bytes(modulus, "big"), e=exponent, bits=bits)
+        return TpmKeyBlob(
+            usage=usage,
+            scheme=scheme,
+            public=public,
+            enc_private=enc_private,
+            pcr_info=pcr_info,
+        )
+
+    @staticmethod
+    def wrap(
+        parent: RsaKeyPair,
+        keypair: RsaKeyPair,
+        usage: int,
+        usage_auth: bytes,
+        migration_auth: bytes,
+        rng: RandomSource,
+        pcr_info: Optional[TpmPcrInfo] = None,
+        scheme: Optional[int] = None,
+    ) -> "TpmKeyBlob":
+        """Encrypt a child key's private portion under the parent."""
+        if usage not in KEY_USAGE_NAMES:
+            raise TpmError(TPM_BAD_PARAMETER, f"unknown key usage {usage:#x}")
+        if scheme is None:
+            scheme = (
+                TPM_ES_RSAESPKCSv15
+                if KEY_USAGE_NAMES[usage] in ("storage", "bind")
+                else TPM_SS_RSASSAPKCS1v15_SHA1
+            )
+        portion = PrivatePortion(
+            keypair=keypair, usage_auth=usage_auth, migration_auth=migration_auth
+        )
+        enc = _wrap_cipher_for(parent).encrypt(portion.serialize(), rng)
+        return TpmKeyBlob(
+            usage=usage,
+            scheme=scheme,
+            public=keypair.public,
+            enc_private=enc,
+            pcr_info=pcr_info,
+        )
+
+    def unwrap(self, parent: RsaKeyPair) -> PrivatePortion:
+        """Decrypt the private portion; fails for the wrong parent."""
+        try:
+            plain = _wrap_cipher_for(parent).decrypt(self.enc_private)
+        except CryptoError as exc:
+            raise TpmError(TPM_DECRYPT_ERROR, f"key unwrap failed: {exc}") from exc
+        portion = PrivatePortion.deserialize(plain)
+        if portion.keypair.public.n != self.public.n:
+            raise TpmError(TPM_DECRYPT_ERROR, "public/private halves disagree")
+        return portion
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """Output of TPM_Seal: payload bound to PCR state under a storage key."""
+
+    pcr_info: Optional[TpmPcrInfo]
+    enc_payload: EncryptedBlob
+
+    def serialize(self) -> bytes:
+        w = ByteWriter()
+        w.raw(SEAL_FIXED)
+        if self.pcr_info is not None:
+            blob = self.pcr_info.serialize()
+            w.u32(len(blob))
+            w.raw(blob)
+        else:
+            w.u32(0)
+        w.sized(self.enc_payload.serialize())
+        return w.getvalue()
+
+    @staticmethod
+    def deserialize(data: bytes) -> "SealedBlob":
+        r = ByteReader(data)
+        fixed = r.raw(4)
+        if fixed != SEAL_FIXED:
+            raise MarshalError("not a sealed blob")
+        pcr_len = r.u32()
+        pcr_info = None
+        if pcr_len:
+            sub = ByteReader(r.raw(pcr_len))
+            pcr_info = TpmPcrInfo.deserialize(sub)
+            sub.expect_end()
+        enc = EncryptedBlob.deserialize(r.sized(max_size=1 << 20))
+        r.expect_end()
+        return SealedBlob(pcr_info=pcr_info, enc_payload=enc)
+
+
+@dataclass(frozen=True)
+class SealedPayload:
+    """Plaintext interior of a sealed blob: auth secret + data."""
+
+    auth: bytes
+    data: bytes
+
+    def serialize(self) -> bytes:
+        w = ByteWriter()
+        w.raw(self.auth)
+        w.sized(self.data)
+        return w.getvalue()
+
+    @staticmethod
+    def deserialize(data: bytes) -> "SealedPayload":
+        r = ByteReader(data)
+        auth = r.raw(AUTHDATA_SIZE)
+        payload = r.sized(max_size=1 << 20)
+        r.expect_end()
+        return SealedPayload(auth=auth, data=payload)
+
+
+@dataclass(frozen=True)
+class CertifyInfo:
+    """Verifier-side view of TPM_CertifyKey's signed payload."""
+
+    key_usage: int
+    public: RsaPublicKey
+    anti_replay: bytes
+    pcr_bound: bool
+    digest_at_release: Optional[bytes]
+
+    @staticmethod
+    def deserialize(data: bytes) -> "CertifyInfo":
+        r = ByteReader(data)
+        if r.raw(4) != b"CERT":
+            raise MarshalError("not a certifyInfo structure")
+        usage = r.u16()
+        modulus = r.sized(max_size=1 << 12)
+        exponent = r.u32()
+        anti_replay = r.raw(DIGEST_SIZE)
+        pcr_bound = bool(r.u8())
+        digest = r.raw(DIGEST_SIZE) if pcr_bound else None
+        r.expect_end()
+        return CertifyInfo(
+            key_usage=usage,
+            public=RsaPublicKey(
+                n=int.from_bytes(modulus, "big"),
+                e=exponent,
+                bits=len(modulus) * 8,
+            ),
+            anti_replay=anti_replay,
+            pcr_bound=pcr_bound,
+            digest_at_release=digest,
+        )
+
+
+def make_quote_info(composite_digest: bytes, external_data: bytes) -> bytes:
+    """TPM_QUOTE_INFO: what TPM_Quote actually signs."""
+    if len(composite_digest) != DIGEST_SIZE:
+        raise MarshalError("composite digest must be 20 bytes")
+    if len(external_data) != DIGEST_SIZE:
+        raise MarshalError("external data (anti-replay nonce) must be 20 bytes")
+    w = ByteWriter()
+    w.raw(STRUCT_VERSION)
+    w.raw(QUOTE_FIXED)
+    w.raw(composite_digest)
+    w.raw(external_data)
+    return w.getvalue()

@@ -1,0 +1,24 @@
+"""Shared utilities: error hierarchy, logging, byte I/O, validation helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    MarshalError,
+    TpmError,
+    XenError,
+    VtpmError,
+    AccessControlError,
+    SimulationError,
+)
+from repro.util.bytesio import ByteReader, ByteWriter
+
+__all__ = [
+    "ReproError",
+    "MarshalError",
+    "TpmError",
+    "XenError",
+    "VtpmError",
+    "AccessControlError",
+    "SimulationError",
+    "ByteReader",
+    "ByteWriter",
+]

@@ -1,0 +1,117 @@
+"""Big-endian byte readers/writers used by the TPM wire format.
+
+TPM 1.2 structures are marshalled big-endian ("network order").  These two
+small classes centralise bounds checking so malformed input surfaces as
+:class:`~repro.util.errors.MarshalError` rather than a silent short read.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.util.errors import MarshalError
+
+
+class ByteWriter:
+    """Accumulates big-endian fields into a byte string."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _append(self, data: bytes) -> "ByteWriter":
+        self._chunks.append(data)
+        self._length += len(data)
+        return self
+
+    def u8(self, value: int) -> "ByteWriter":
+        if not 0 <= value <= 0xFF:
+            raise MarshalError(f"u8 out of range: {value}")
+        return self._append(struct.pack(">B", value))
+
+    def u16(self, value: int) -> "ByteWriter":
+        if not 0 <= value <= 0xFFFF:
+            raise MarshalError(f"u16 out of range: {value}")
+        return self._append(struct.pack(">H", value))
+
+    def u32(self, value: int) -> "ByteWriter":
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise MarshalError(f"u32 out of range: {value}")
+        return self._append(struct.pack(">I", value))
+
+    def u64(self, value: int) -> "ByteWriter":
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            raise MarshalError(f"u64 out of range: {value}")
+        return self._append(struct.pack(">Q", value))
+
+    def raw(self, data: bytes) -> "ByteWriter":
+        return self._append(bytes(data))
+
+    def sized(self, data: bytes) -> "ByteWriter":
+        """A u32 length prefix followed by the bytes (TPM_SIZED_BUFFER)."""
+        self.u32(len(data))
+        return self.raw(data)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class ByteReader:
+    """Consumes big-endian fields from a byte string with bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, count: int) -> bytes:
+        if count < 0:
+            raise MarshalError(f"negative read of {count} bytes")
+        if self._pos + count > len(self._data):
+            raise MarshalError(
+                f"short read: wanted {count} bytes at offset {self._pos}, "
+                f"only {self.remaining()} remain"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack(">B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def raw(self, count: int) -> bytes:
+        return self._take(count)
+
+    def sized(self, max_size: int = 1 << 20) -> bytes:
+        """Read a u32 length prefix then that many bytes (TPM_SIZED_BUFFER)."""
+        size = self.u32()
+        if size > max_size:
+            raise MarshalError(f"sized buffer of {size} bytes exceeds cap {max_size}")
+        return self._take(size)
+
+    def expect_end(self) -> None:
+        """Assert the whole buffer was consumed (strict unmarshalling)."""
+        if self.remaining() != 0:
+            raise MarshalError(f"{self.remaining()} trailing bytes after structure")
+
+    def rest(self) -> bytes:
+        """Consume and return everything remaining."""
+        return self._take(self.remaining())

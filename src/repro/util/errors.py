@@ -1,0 +1,107 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch either the broad family or a precise failure.  TPM-level failures
+additionally carry the TPM 1.2 result code so command-level tests can
+assert on the exact error the real device would return.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel (e.g. time going backwards)."""
+
+
+class MarshalError(ReproError):
+    """Malformed wire data encountered while (un)marshalling TPM structures."""
+
+
+class CryptoError(ReproError):
+    """Failure inside the crypto substrate (bad key sizes, verify failures...)."""
+
+
+class TpmError(ReproError):
+    """A TPM command failed; carries the TPM 1.2 result code.
+
+    Attributes
+    ----------
+    code:
+        The ``TPM_*`` result code (see :mod:`repro.tpm.constants`).
+    """
+
+    def __init__(self, code: int, message: str = "") -> None:
+        super().__init__(message or f"TPM error code {code:#x}")
+        self.code = code
+
+
+class XenError(ReproError):
+    """Hypervisor substrate failure (bad domain id, unmapped page, ...)."""
+
+
+class DomainNotFound(XenError):
+    """No domain with the requested id exists."""
+
+
+class PageFault(XenError):
+    """Access to an unmapped or foreign-protected page."""
+
+
+class GrantError(XenError):
+    """Invalid grant-table operation."""
+
+
+class EventChannelError(XenError):
+    """Invalid event-channel operation."""
+
+
+class XenStoreError(XenError):
+    """Invalid XenStore path or permission failure."""
+
+
+class RingError(XenError):
+    """Shared-ring transport failure (full ring, short read...)."""
+
+
+class VtpmError(ReproError):
+    """vTPM subsystem failure (unknown instance, storage corruption...)."""
+
+
+class MigrationError(VtpmError):
+    """vTPM live-migration protocol failure."""
+
+
+class AccessControlError(ReproError):
+    """Base class for the access-control (core) subsystem."""
+
+
+class AccessDenied(AccessControlError):
+    """The reference monitor denied an operation.
+
+    Attributes
+    ----------
+    subject:
+        Identity (or domain id) of the denied subject.
+    operation:
+        Human-readable operation name (e.g. ``"TPM_Quote"``).
+    reason:
+        Why the policy denied it.
+    """
+
+    def __init__(self, subject: object, operation: str, reason: str) -> None:
+        super().__init__(f"access denied: subject={subject!r} op={operation} ({reason})")
+        self.subject = subject
+        self.operation = operation
+        self.reason = reason
+
+
+class IdentityError(AccessControlError):
+    """Domain identity could not be established or verified."""
+
+
+class SealingError(AccessControlError):
+    """Sealed vTPM state could not be unsealed (wrong platform state or key)."""

@@ -1,0 +1,31 @@
+"""Thin logging shim.
+
+The simulation is deterministic, so logs are primarily a debugging aid; the
+shim keeps the stdlib logger but namespaces everything under ``repro.*`` and
+offers a single switch for verbose tracing in tests and examples.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro.``."""
+    if name.startswith(_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def enable_tracing(level: int = logging.DEBUG) -> None:
+    """Turn on console tracing for the whole library (used by examples)."""
+    logger = logging.getLogger(_ROOT)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(level)

@@ -1,0 +1,34 @@
+"""Small validation helpers shared across subsystems."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def check_type(value: object, expected: type | tuple[type, ...], name: str) -> None:
+    """Raise ``TypeError`` with a uniform message when ``value`` is mistyped."""
+    if not isinstance(value, expected):
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+
+
+def check_range(value: int, low: int, high: int, name: str) -> int:
+    """Raise ``ValueError`` when an integer lies outside ``[low, high]``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be int, got {type(value).__name__}")
+    if not low <= value <= high:
+        raise ValueError(f"{name}={value} outside [{low}, {high}]")
+    return value
+
+
+def check_length(data: bytes, length: int, name: str) -> bytes:
+    """Raise ``ValueError`` unless ``data`` is exactly ``length`` bytes."""
+    if len(data) != length:
+        raise ValueError(f"{name} must be {length} bytes, got {len(data)}")
+    return data
+
+
+def check_nonempty(items: Iterable[object], name: str) -> None:
+    """Raise ``ValueError`` if the iterable yields nothing."""
+    for _ in items:
+        return
+    raise ValueError(f"{name} must not be empty")

@@ -1,0 +1,83 @@
+"""tpmback: the driver-domain half of the vTPM split driver.
+
+Reads the front-end's ring parameters from XenStore, maps the grant, and
+forwards each command to the manager **prefixed with an instance number**
+— which in stock Xen is whatever the backend's configuration says.  That
+configuration is exactly what the rogue re-binding attack edits, so the
+backend exposes ``rebind`` to let the attack toolkit do what a compromised
+Dom0 would do.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import VtpmError
+from repro.vtpm.frontend import VtpmFrontend
+from repro.vtpm.manager import VtpmManager
+from repro.xen.hypervisor import Xen
+
+
+class VtpmBackend:
+    """One back-end connection: (guest ring) → (manager, instance id)."""
+
+    def __init__(
+        self,
+        xen: Xen,
+        manager: VtpmManager,
+        frontend: VtpmFrontend,
+        instance_id: int,
+    ) -> None:
+        self.xen = xen
+        self.manager = manager
+        self.frontend = frontend
+        self.instance_id = instance_id
+        self.front_domid = frontend.guest.domid
+        # Read the handshake nodes, as the real driver does.
+        ring_ref = int(xen.store.read(0, f"{frontend.device_path}/ring-ref",
+                                      privileged=True))
+        if ring_ref != frontend.ring.gref:
+            raise VtpmError("xenstore ring-ref does not match the front-end ring")
+        frontend.ring.connect_backend(self._forward)
+        # Record the binding where xend kept it.
+        xen.store.write(
+            0,
+            f"/local/domain/0/backend/vtpm/{self.front_domid}/0/instance",
+            str(instance_id),
+            privileged=True,
+        )
+        frontend.mark_connected()
+
+    def _forward(self, wire: bytes) -> bytes:
+        """Prefix the configured instance number and hand to the manager.
+
+        ``front_domid`` comes from the ring itself (hypervisor ground
+        truth); ``instance_id`` is backend configuration (attacker-editable
+        in the baseline threat model).
+        """
+        return self.manager.handle_command(
+            self.front_domid, self.instance_id, wire,
+            locality=self.frontend.locality,
+        )
+
+    def rebind(self, new_instance_id: int) -> None:
+        """Point this connection at a different instance (the attack knob)."""
+        self.instance_id = new_instance_id
+        self.xen.store.write(
+            0,
+            f"/local/domain/0/backend/vtpm/{self.front_domid}/0/instance",
+            str(new_instance_id),
+            privileged=True,
+        )
+
+    def disconnect(self) -> None:
+        self.frontend.ring.disconnect_backend()
+
+
+def attach_vtpm(
+    xen: Xen, manager: VtpmManager, guest, backend_domid: int = 0,
+    profile=None,
+) -> tuple[VtpmFrontend, VtpmBackend]:
+    """Full attach path: create instance, front-end, back-end, handshake."""
+    instance = manager.create_instance(guest, profile=profile)
+    frontend = VtpmFrontend(xen, guest, backend_domid)
+    backend = VtpmBackend(xen, manager, frontend, instance.instance_id)
+    return frontend, backend

@@ -1,0 +1,96 @@
+"""One virtual TPM instance.
+
+An instance owns a full software TPM (:class:`~repro.tpm.device.TpmDevice`)
+plus the manager-domain memory pages its serialized state lives in — the
+pages a memory-dump attack reads, and the pages the improved design
+hypervisor-protects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.random_source import RandomSource
+from repro.tpm.device import TpmDevice
+from repro.util.errors import VtpmError
+from repro.xen.memory import PAGE_SIZE, MemoryRegion, PhysicalMemory
+
+#: pages reserved per instance for the in-memory state image
+STATE_PAGES = 8
+
+
+class VtpmInstance:
+    """A per-VM virtual TPM, resident in the manager domain."""
+
+    def __init__(
+        self,
+        instance_id: int,
+        vm_uuid: str,
+        rng: RandomSource,
+        memory: PhysicalMemory,
+        manager_domid: int,
+        key_bits: int,
+        bound_identity_hex: Optional[str] = None,
+        nv_capacity: Optional[int] = None,
+    ) -> None:
+        self.instance_id = instance_id
+        self.vm_uuid = vm_uuid
+        self.bound_identity_hex = bound_identity_hex
+        self.device = TpmDevice(
+            rng, key_bits=key_bits, name=f"vtpm{instance_id}", nv_capacity=nv_capacity
+        )
+        self.device.power_on()
+        self.commands_handled = 0
+        # The state image lives in real (simulated) manager-domain frames so
+        # dump tooling sees exactly what a live manager process would hold.
+        frames = memory.allocate(manager_domid, STATE_PAGES)
+        self.state_region = MemoryRegion(memory, manager_domid, frames)
+        self._memory = memory
+        self.sync_to_memory()
+
+    def sync_to_memory(self) -> int:
+        """Mirror the serialized TPM state into the manager's frames.
+
+        Models the manager daemon's heap residency of instance state; no
+        virtual time is charged because the real daemon holds this state
+        in place rather than copying it per command.
+        """
+        blob = self.device.save_state_blob()
+        if len(blob) + 4 > self.state_region.size:
+            # Grow: allocate more frames (the daemon's heap growing).
+            needed = (len(blob) + 4 + PAGE_SIZE - 1) // PAGE_SIZE
+            old_frames = self.state_region.frames
+            was_protected = self._memory.page(old_frames[0]).protected
+            frames = self._memory.allocate(self.state_region.domid, needed)
+            self._memory.free(old_frames)
+            self.state_region = MemoryRegion(self._memory, self.state_region.domid, frames)
+            if was_protected:
+                self.state_region.set_protected(True)
+        self.state_region.write(0, len(blob).to_bytes(4, "big") + blob)
+        return len(blob)
+
+    def memory_image(self) -> bytes:
+        """The state bytes as resident in memory (owner view, for tests)."""
+        length = int.from_bytes(self.state_region.read(0, 4), "big")
+        return self.state_region.read(4, length)
+
+    def execute(self, wire: bytes, locality: int = 0) -> bytes:
+        """Run one TPM command on this instance and refresh the image."""
+        response = self.device.execute(wire, locality=locality)
+        self.commands_handled += 1
+        self.sync_to_memory()
+        return response
+
+    def teardown(self) -> None:
+        """Scrub and free the state frames."""
+        self.state_region.write(0, b"\x00" * self.state_region.size)
+        self._memory.free(self.state_region.frames)
+
+    def __repr__(self) -> str:
+        bound = (
+            self.bound_identity_hex[:12] + "…" if self.bound_identity_hex else None
+        )
+        return (
+            f"VtpmInstance(id={self.instance_id}, vm={self.vm_uuid[:8]}, "
+            f"bound={bound})"
+        )

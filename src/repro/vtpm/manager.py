@@ -1,0 +1,248 @@
+"""The vTPM manager daemon.
+
+Runs inside the manager domain (Dom0 in the stock design), owns every
+vTPM instance, and demultiplexes command packets arriving from back-end
+drivers.  :meth:`handle_command` is the paper's interposition point: the
+installed :class:`~repro.core.monitor.Monitor` sees every packet before
+an instance does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.core.config import AccessControlConfig, AccessMode
+from repro.core.identity import IdentityRegistry
+from repro.core.monitor import AccessControlMonitor, BaselineMonitor, Monitor
+from repro.core.protection import MemoryProtector
+from repro.sim.timing import charge
+from repro.tpm import marshal
+from repro.tpm.constants import TPM_AUTHFAIL
+from repro.util.errors import VtpmError
+from repro.vtpm.instance import VtpmInstance
+from repro.vtpm.storage import VtpmStorage
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Xen
+
+
+class VtpmManager:
+    """vtpm_managerd: instance lifecycle plus the command path."""
+
+    def __init__(
+        self,
+        xen: Xen,
+        manager_domid: int,
+        storage: VtpmStorage,
+        monitor: Monitor,
+        *,
+        mode: AccessMode,
+        identities: Optional[IdentityRegistry] = None,
+        protector: Optional[MemoryProtector] = None,
+        key_bits: int = 1024,
+        nv_capacity: Optional[int] = None,
+        rng=None,
+    ) -> None:
+        self.xen = xen
+        self.manager_domid = manager_domid
+        self.storage = storage
+        self.monitor = monitor
+        self.mode = mode
+        self.identities = identities
+        self.protector = protector
+        self.key_bits = key_bits
+        self.nv_capacity = nv_capacity
+        self._rng = rng if rng is not None else xen.rng.fork("vtpm-manager")
+        self._instances: Dict[int, VtpmInstance] = {}
+        self._by_vm: Dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self.commands_dispatched = 0
+        self.commands_denied = 0
+
+    # -- instance lifecycle ------------------------------------------------------
+
+    def create_instance(self, vm: Domain, profile=None) -> VtpmInstance:
+        """Create and bind a vTPM for a guest domain.
+
+        ``profile`` optionally narrows the policy grant installed for the
+        owning identity (see :mod:`repro.core.profiles`).
+        """
+        if vm.uuid in self._by_vm:
+            raise VtpmError(f"VM {vm.name} already has vTPM instance "
+                            f"{self._by_vm[vm.uuid]}")
+        charge("vtpm.instance.create")
+        identity_hex: Optional[str] = None
+        if self.mode is AccessMode.IMPROVED and self.identities is not None:
+            identity = self.identities.lookup(vm.domid) or self.identities.register(vm)
+            identity_hex = identity.hex
+        instance = VtpmInstance(
+            instance_id=next(self._ids),
+            vm_uuid=vm.uuid,
+            rng=self._rng.fork(f"vtpm-{vm.uuid}"),
+            memory=self.xen.memory,
+            manager_domid=self.manager_domid,
+            key_bits=self.key_bits,
+            bound_identity_hex=identity_hex,
+            nv_capacity=self.nv_capacity,
+        )
+        self._instances[instance.instance_id] = instance
+        self._by_vm[vm.uuid] = instance.instance_id
+        if self.protector is not None:
+            self.protector.protect_region(
+                ("vtpm", instance.instance_id), instance.state_region
+            )
+        self.monitor.on_instance_created(
+            instance.instance_id, identity_hex or "", profile=profile
+        )
+        # Publish the binding the way xend did, for tooling parity.  A
+        # stub-domain manager is unprivileged and publishes under its own
+        # XenStore subtree instead of the global /vtpm.
+        manager_privileged = self.xen.domain(self.manager_domid).privileged
+        binding_path = (
+            f"/vtpm/{vm.uuid}/instance"
+            if manager_privileged
+            else f"/local/domain/{self.manager_domid}/vtpm/{vm.uuid}/instance"
+        )
+        self.xen.store.write(
+            self.manager_domid,
+            binding_path,
+            str(instance.instance_id),
+            privileged=manager_privileged,
+        )
+        return instance
+
+    def destroy_instance(self, instance_id: int, persist: bool = True) -> None:
+        instance = self.instance(instance_id)
+        if persist:
+            self.save_instance(instance_id)
+        if self.protector is not None:
+            self.protector.unprotect(("vtpm", instance_id))
+        instance.teardown()
+        self.monitor.on_instance_destroyed(instance_id)
+        del self._instances[instance_id]
+        self._by_vm.pop(instance.vm_uuid, None)
+
+    def instance(self, instance_id: int) -> VtpmInstance:
+        charge("vtpm.instance.lookup")
+        try:
+            return self._instances[instance_id]
+        except KeyError:
+            raise VtpmError(f"no vTPM instance {instance_id}") from None
+
+    def instance_for_vm(self, vm_uuid: str) -> VtpmInstance:
+        instance_id = self._by_vm.get(vm_uuid)
+        if instance_id is None:
+            raise VtpmError(f"VM {vm_uuid} has no vTPM instance")
+        return self._instances[instance_id]
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    def instances(self) -> list[VtpmInstance]:
+        return [self._instances[i] for i in sorted(self._instances)]
+
+    # -- the command path (where the monitor interposes) ----------------------------
+
+    def handle_command(
+        self, caller_domid: int, instance_id: int, wire: bytes, locality: int = 0
+    ) -> bytes:
+        """One packet from a back-end: authorize, execute, respond.
+
+        ``caller_domid`` is hypervisor ground truth (the ring's front-end
+        domain), not a backend claim; ``instance_id`` *is* a backend claim,
+        which is exactly what the monitor's binding check validates.
+        """
+        charge("vtpm.dispatch")
+        self.commands_dispatched += 1
+        try:
+            instance = self.instance(instance_id)
+        except VtpmError:
+            return marshal.build_response(TPM_AUTHFAIL)
+        caller = self.xen.domain(caller_domid)
+        verdict = self.monitor.authorize(
+            caller, instance_id, instance.bound_identity_hex, wire
+        )
+        if not verdict.allowed:
+            self.commands_denied += 1
+            return marshal.build_response(TPM_AUTHFAIL)
+        self._load_working_registers(instance)
+        try:
+            return instance.execute(wire, locality=locality)
+        finally:
+            if self.protector is not None and self.protector.enabled:
+                self._scrub_working_registers()
+
+    # -- CPU-residency modelling ---------------------------------------------------
+
+    def _load_working_registers(self, instance: VtpmInstance) -> None:
+        """Model crypto in flight: key fragments transit the manager's vCPU.
+
+        Real RSA code schedules private-key material through registers;
+        this puts the first 32 bytes of the instance EK into rax..rdx so a
+        vCPU dump sees what a real dump would see.
+        """
+        vcpu = self.xen.domain(self.manager_domid).vcpu
+        ek = instance.device.state.keys.ek
+        if ek is None:
+            return
+        fragment = ek.keypair.serialize_private()[:32]
+        for i, reg in enumerate(("rax", "rbx", "rcx", "rdx")):
+            vcpu.load_bytes(reg, fragment[i * 8 : (i + 1) * 8])
+
+    def _scrub_working_registers(self) -> None:
+        """The improved manager zeroes key-bearing registers after use."""
+        vcpu = self.xen.domain(self.manager_domid).vcpu
+        for reg in ("rax", "rbx", "rcx", "rdx"):
+            vcpu.load_bytes(reg, b"\x00" * 8)
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save_instance(self, instance_id: int) -> str:
+        instance = self.instance(instance_id)
+        return self.storage.save_instance_state(
+            instance.vm_uuid,
+            instance.bound_identity_hex,
+            instance.device.save_state_blob(),
+        )
+
+    def save_all(self) -> int:
+        for instance_id in list(self._instances):
+            self.save_instance(instance_id)
+        return len(self._instances)
+
+    def restore_instance(self, vm: Domain) -> VtpmInstance:
+        """Re-create a guest's vTPM from persistent state after reboot."""
+        identity_hex: Optional[str] = None
+        if self.mode is AccessMode.IMPROVED and self.identities is not None:
+            identity = self.identities.lookup(vm.domid) or self.identities.register(vm)
+            identity_hex = identity.hex
+        blob = self.storage.load_instance_state(vm.uuid, identity_hex)
+        charge("vtpm.instance.create")
+        instance = VtpmInstance.__new__(VtpmInstance)
+        instance.instance_id = next(self._ids)
+        instance.vm_uuid = vm.uuid
+        instance.bound_identity_hex = identity_hex
+        from repro.tpm.device import TpmDevice
+
+        instance.device = TpmDevice.from_state_blob(
+            blob, rng=self._rng.fork(f"vtpm-restore-{vm.uuid}"),
+            name=f"vtpm{instance.instance_id}",
+        )
+        instance.commands_handled = 0
+        frames = self.xen.memory.allocate(
+            self.manager_domid, max(1, (len(blob) + 4 + 4095) // 4096)
+        )
+        from repro.xen.memory import MemoryRegion
+
+        instance.state_region = MemoryRegion(self.xen.memory, self.manager_domid, frames)
+        instance._memory = self.xen.memory
+        instance.sync_to_memory()
+        self._instances[instance.instance_id] = instance
+        self._by_vm[vm.uuid] = instance.instance_id
+        if self.protector is not None:
+            self.protector.protect_region(
+                ("vtpm", instance.instance_id), instance.state_region
+            )
+        self.monitor.on_instance_created(instance.instance_id, identity_hex or "")
+        return instance

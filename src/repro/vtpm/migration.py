@@ -1,0 +1,233 @@
+"""vTPM live migration between platforms.
+
+The stock protocol ships the instance state to the destination manager in
+plaintext — anyone on the migration path reads the guest's EK/SRK.  The
+improved protocol:
+
+1. destination mints a single-use **bind key in its hardware TPM** and a
+   fresh anti-replay nonce (the *offer*);
+2. source encrypts a random session key to that bind key, encrypts the
+   state under the session key (authenticated), and echoes the nonce;
+3. destination recovers the session key via ``TPM_UnBind`` — i.e. only
+   the real destination hardware TPM can open the package — verifies the
+   nonce (one shot) and the owning identity, then instantiates.
+
+Both paths charge network time per byte so Figure 3 compares like with
+like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.random_source import RandomSource
+from repro.crypto.rsa import RsaPublicKey
+from repro.crypto.symmetric import EncryptedBlob, SymmetricKey
+from repro.sim.timing import charge
+from repro.tpm.client import TpmClient
+from repro.tpm.constants import TPM_KEY_BIND, TPM_KH_SRK
+from repro.util.bytesio import ByteReader, ByteWriter
+from repro.util.errors import MigrationError
+from repro.vtpm.manager import VtpmManager
+from repro.xen.domain import Domain
+
+NONCE_SIZE = 20
+SESSION_KEY_SIZE = 32
+
+MAGIC_PLAIN = b"VTPMMIG0"
+MAGIC_SEALED = b"VTPMMIG1"
+
+
+@dataclass
+class MigrationOffer:
+    """Destination's single-use landing pad."""
+
+    offer_id: int
+    bind_public: RsaPublicKey
+    nonce: bytes
+    bind_key_handle: int
+    bind_key_auth: bytes
+
+
+@dataclass
+class MigrationPackage:
+    """What actually crosses the wire (and what an interceptor captures)."""
+
+    payload: bytes  # fully serialized, self-describing
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+class MigrationEndpoint:
+    """Migration logic bolted onto one platform's vTPM manager."""
+
+    def __init__(
+        self,
+        manager: VtpmManager,
+        rng: RandomSource,
+        hw_client: Optional[TpmClient] = None,
+        srk_auth: Optional[bytes] = None,
+    ) -> None:
+        self.manager = manager
+        self._rng = rng
+        self._hw = hw_client
+        self._srk_auth = srk_auth
+        self._offers: Dict[int, MigrationOffer] = {}
+        self._next_offer = 1
+        self._seen_nonces: set[bytes] = set()
+
+    # -- destination side -----------------------------------------------------------
+
+    def prepare_target(self, key_bits: int = 512) -> MigrationOffer:
+        """Mint a hardware-TPM bind key + nonce for one incoming migration."""
+        if self._hw is None or self._srk_auth is None:
+            raise MigrationError("improved migration needs a hardware TPM client")
+        bind_auth = self._rng.bytes(20)
+        blob = self._hw.create_wrap_key(
+            TPM_KH_SRK, self._srk_auth, bind_auth, TPM_KEY_BIND, key_bits
+        )
+        handle = self._hw.load_key2(TPM_KH_SRK, self._srk_auth, blob)
+        public = self._hw.get_pub_key(handle, bind_auth)
+        offer = MigrationOffer(
+            offer_id=self._next_offer,
+            bind_public=public,
+            nonce=self._rng.bytes(NONCE_SIZE),
+            bind_key_handle=handle,
+            bind_key_auth=bind_auth,
+        )
+        self._next_offer += 1
+        self._offers[offer.offer_id] = offer
+        return offer
+
+    # -- source side -------------------------------------------------------------------
+
+    def export_plaintext(self, vm_uuid: str) -> MigrationPackage:
+        """Stock protocol: raw state on the wire."""
+        instance = self.manager.instance_for_vm(vm_uuid)
+        state = instance.device.save_state_blob()
+        w = ByteWriter()
+        w.raw(MAGIC_PLAIN)
+        w.sized(vm_uuid.encode("utf-8"))
+        w.sized(state)
+        payload = w.getvalue()
+        charge("vtpm.migration.net", len(payload))
+        self.manager.destroy_instance(instance.instance_id, persist=False)
+        return MigrationPackage(payload=payload)
+
+    def export_sealed(self, vm_uuid: str, offer: MigrationOffer) -> MigrationPackage:
+        """Improved protocol: session key bound to the destination TPM."""
+        instance = self.manager.instance_for_vm(vm_uuid)
+        state = instance.device.save_state_blob()
+        session_key = self._rng.bytes(SESSION_KEY_SIZE)
+        enc_session = offer.bind_public.encrypt(session_key, self._rng)
+        enc_state = SymmetricKey(session_key).encrypt(state, self._rng)
+        w = ByteWriter()
+        w.raw(MAGIC_SEALED)
+        w.u32(offer.offer_id)
+        w.raw(offer.nonce)
+        w.sized(vm_uuid.encode("utf-8"))
+        w.sized((instance.bound_identity_hex or "").encode("ascii"))
+        w.sized(enc_session)
+        w.sized(enc_state.serialize())
+        payload = w.getvalue()
+        charge("vtpm.migration.net", len(payload))
+        self.manager.destroy_instance(instance.instance_id, persist=False)
+        return MigrationPackage(payload=payload)
+
+    # -- destination import ----------------------------------------------------------------
+
+    def import_plaintext(self, package: MigrationPackage, target_vm: Domain):
+        """Accept a stock-protocol package."""
+        r = ByteReader(package.payload)
+        if r.raw(8) != MAGIC_PLAIN:
+            raise MigrationError("not a plaintext migration package")
+        r.sized(max_size=64)  # vm uuid (informational)
+        state = r.sized(max_size=1 << 22)
+        r.expect_end()
+        return self._instantiate(state, target_vm)
+
+    def import_sealed(self, package: MigrationPackage, target_vm: Domain):
+        """Accept an improved-protocol package (nonce single-use, TPM-gated)."""
+        if self._hw is None:
+            raise MigrationError("improved migration needs a hardware TPM client")
+        r = ByteReader(package.payload)
+        if r.raw(8) != MAGIC_SEALED:
+            raise MigrationError("not a sealed migration package")
+        offer_id = r.u32()
+        nonce = r.raw(NONCE_SIZE)
+        r.sized(max_size=64)  # vm uuid
+        identity_hex = r.sized(max_size=128).decode("ascii")
+        enc_session = r.sized(max_size=1 << 12)
+        enc_state = EncryptedBlob.deserialize(r.sized(max_size=1 << 22))
+        r.expect_end()
+        offer = self._offers.pop(offer_id, None)
+        if offer is None:
+            raise MigrationError(f"no outstanding migration offer {offer_id}")
+        if nonce != offer.nonce or nonce in self._seen_nonces:
+            raise MigrationError("migration nonce mismatch or replay")
+        self._seen_nonces.add(nonce)
+        session_key = self._hw.unbind(
+            offer.bind_key_handle, offer.bind_key_auth, enc_session
+        )
+        if len(session_key) != SESSION_KEY_SIZE:
+            raise MigrationError("recovered session key has wrong size")
+        try:
+            state = SymmetricKey(session_key).decrypt(enc_state)
+        except Exception as exc:
+            raise MigrationError(f"state decrypt failed: {exc}") from exc
+        # Identity continuity: the VM landing here must measure identically.
+        if self.manager.identities is not None and identity_hex:
+            identity = self.manager.identities.lookup(target_vm.domid)
+            if identity is None:
+                identity = self.manager.identities.register(target_vm)
+            if identity.hex != identity_hex:
+                raise MigrationError(
+                    "target VM identity does not match the migrated instance"
+                )
+        finally_handle = offer.bind_key_handle
+        self._hw.evict_key(finally_handle)
+        return self._instantiate(state, target_vm)
+
+    def _instantiate(self, state: bytes, target_vm: Domain):
+        """Common tail: rebuild the instance on this platform."""
+        from repro.tpm.device import TpmDevice
+        from repro.vtpm.instance import VtpmInstance
+        from repro.xen.memory import MemoryRegion
+
+        manager = self.manager
+        charge("vtpm.instance.create")
+        identity_hex = None
+        if manager.identities is not None and manager.mode.value == "improved":
+            identity = (
+                manager.identities.lookup(target_vm.domid)
+                or manager.identities.register(target_vm)
+            )
+            identity_hex = identity.hex
+        instance = VtpmInstance.__new__(VtpmInstance)
+        instance.instance_id = next(manager._ids)
+        instance.vm_uuid = target_vm.uuid
+        instance.bound_identity_hex = identity_hex
+        instance.device = TpmDevice.from_state_blob(
+            state,
+            rng=manager._rng.fork(f"vtpm-mig-{target_vm.uuid}"),
+            name=f"vtpm{instance.instance_id}",
+        )
+        instance.commands_handled = 0
+        frames = manager.xen.memory.allocate(
+            manager.manager_domid, max(1, (len(state) + 4 + 4095) // 4096)
+        )
+        instance.state_region = MemoryRegion(
+            manager.xen.memory, manager.manager_domid, frames
+        )
+        instance._memory = manager.xen.memory
+        instance.sync_to_memory()
+        manager._instances[instance.instance_id] = instance
+        manager._by_vm[target_vm.uuid] = instance.instance_id
+        if manager.protector is not None:
+            manager.protector.protect_region(
+                ("vtpm", instance.instance_id), instance.state_region
+            )
+        manager.monitor.on_instance_created(instance.instance_id, identity_hex or "")
+        return instance

@@ -1,0 +1,40 @@
+"""Workload generators for the evaluation.
+
+* :mod:`~repro.workloads.mixes` — per-ordinal command mixes driven through
+  a prepared guest session (microbenchmarks, throughput sweeps).
+* :mod:`~repro.workloads.traces` — synthetic arrival traces (open-loop
+  load for the scaling experiment).
+* :mod:`~repro.workloads.webapp` — a sealed-storage web-server model (the
+  application-level benchmark).
+* :mod:`~repro.workloads.attestation` — remote-attestation rounds across
+  a cluster of guests.
+"""
+
+from repro.workloads.mixes import (
+    CommandMix,
+    GuestSession,
+    MIX_ATTESTATION,
+    MIX_MEASUREMENT,
+    MIX_MIXED,
+    MIX_SEALED_STORAGE,
+    OPERATIONS,
+)
+from repro.workloads.traces import SyntheticTrace, TraceEntry
+from repro.workloads.webapp import SealedStorageWebApp, WebAppResult
+from repro.workloads.attestation import AttestationWorkload, AttestationResult
+
+__all__ = [
+    "CommandMix",
+    "GuestSession",
+    "MIX_ATTESTATION",
+    "MIX_MEASUREMENT",
+    "MIX_MIXED",
+    "MIX_SEALED_STORAGE",
+    "OPERATIONS",
+    "SyntheticTrace",
+    "TraceEntry",
+    "SealedStorageWebApp",
+    "WebAppResult",
+    "AttestationWorkload",
+    "AttestationResult",
+]

@@ -1,0 +1,79 @@
+"""Remote-attestation workload: challenger ↔ guest quote rounds.
+
+Each round: the challenger sends a fresh nonce; the guest quotes its PCRs
+with a loaded signing/identity key; the challenger verifies the signature
+and the PCR composite against its reference values.  Used by the cluster
+example and as a correctness-bearing workload in the integration tests
+(a corrupted PCR must fail verification).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.random_source import RandomSource
+from repro.crypto.rsa import RsaPublicKey
+from repro.tpm.pcr import PcrBank, PcrSelection
+from repro.tpm.structures import make_quote_info
+from repro.workloads.mixes import KEY_AUTH, GuestSession
+
+
+@dataclass(frozen=True)
+class AttestationResult:
+    rounds: int
+    verified: int
+    failed: int
+
+    @property
+    def all_verified(self) -> bool:
+        return self.failed == 0 and self.verified == self.rounds
+
+
+class AttestationWorkload:
+    """A challenger attesting one guest session repeatedly."""
+
+    def __init__(
+        self,
+        session: GuestSession,
+        rng: RandomSource,
+        pcr_indices: Sequence[int] = (0, 12),
+    ) -> None:
+        self.session = session
+        self.rng = rng
+        self.pcr_indices = list(pcr_indices)
+        # The challenger learned the guest's public key out of band.
+        self.public: RsaPublicKey = session.guest.client.get_pub_key(
+            session.sign_key, KEY_AUTH
+        )
+
+    def challenge_once(
+        self, expected_values: Sequence[bytes] | None = None
+    ) -> bool:
+        """One attestation round; returns whether verification passed."""
+        nonce = self.rng.bytes(20)
+        composite, values, signature = self.session.guest.client.quote(
+            self.session.sign_key, KEY_AUTH, nonce, self.pcr_indices
+        )
+        # Challenger-side verification (no vTPM involved):
+        quote_info = make_quote_info(composite, nonce)
+        if not self.public.verify_sha1(
+            hashlib.sha1(quote_info).digest(), signature
+        ):
+            return False
+        recomputed = PcrBank.composite_of(PcrSelection(self.pcr_indices), values)
+        if recomputed != composite:
+            return False
+        if expected_values is not None and list(expected_values) != values:
+            return False
+        return True
+
+    def run(self, rounds: int) -> AttestationResult:
+        verified = failed = 0
+        for _ in range(rounds):
+            if self.challenge_once():
+                verified += 1
+            else:
+                failed += 1
+        return AttestationResult(rounds=rounds, verified=verified, failed=failed)

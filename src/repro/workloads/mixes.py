@@ -1,0 +1,200 @@
+"""TPM command mixes and the per-guest session that runs them.
+
+A :class:`GuestSession` prepares a guest for real work (take ownership,
+load a signing key, seal a blob, create a counter) and exposes one callable
+per operation name.  A :class:`CommandMix` is a weighted distribution over
+those names; drawing and running ``n`` operations produces a realistic
+command stream whose composition the experiments control explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from repro.crypto.random_source import RandomSource
+from repro.harness.builder import GuestHandle
+from repro.tpm.constants import TPM_KEY_SIGNING, TPM_KH_SRK
+from repro.util.errors import ReproError
+
+OWNER_AUTH = b"session-owner-auth!!"
+SRK_AUTH = b"session-srk-auth!!!!"
+KEY_AUTH = b"session-key-auth!!!!"
+DATA_AUTH = b"session-data-auth!!!"
+COUNTER_AUTH = b"session-counter-a!!!"
+
+
+class GuestSession:
+    """A guest with a fully provisioned vTPM, ready to run operations."""
+
+    def __init__(self, guest: GuestHandle, rng: RandomSource,
+                 key_bits: int = 512) -> None:
+        self.guest = guest
+        self.rng = rng
+        client = guest.client
+        ek = client.read_pubek()
+        client.take_ownership(OWNER_AUTH, SRK_AUTH, ek)
+        key_blob = client.create_wrap_key(
+            TPM_KH_SRK, SRK_AUTH, KEY_AUTH, TPM_KEY_SIGNING, key_bits
+        )
+        self.sign_key = client.load_key2(TPM_KH_SRK, SRK_AUTH, key_blob)
+        self.sealed_blob = client.seal(
+            TPM_KH_SRK, SRK_AUTH, b"session-payload-0123456789", DATA_AUTH
+        )
+        self.counter_handle, _ = client.create_counter(
+            OWNER_AUTH, COUNTER_AUTH, b"wrk0"
+        )
+        from repro.tpm.nvram import NV_PER_AUTHREAD, NV_PER_AUTHWRITE
+
+        client.nv_define(
+            OWNER_AUTH, 0x2000, 64, NV_PER_AUTHREAD | NV_PER_AUTHWRITE,
+            b"session-nv-auth!!!!!",
+        )
+        client.nv_write(b"session-nv-auth!!!!!", 0x2000, 0, b"\x5a" * 64)
+        self._ops: Dict[str, Callable[[], None]] = {
+            "extend": self._op_extend,
+            "pcr_read": self._op_pcr_read,
+            "quote": self._op_quote,
+            "seal": self._op_seal,
+            "unseal": self._op_unseal,
+            "get_random": self._op_get_random,
+            "sign": self._op_sign,
+            "create_wrap_key": self._op_create_wrap_key,
+            "load_key": self._op_load_key,
+            "nv_write": self._op_nv_write,
+            "nv_read": self._op_nv_read,
+            "increment_counter": self._op_increment_counter,
+        }
+        self._key_bits = key_bits
+        self._scratch_blob = key_blob
+
+    # -- operations ---------------------------------------------------------------
+
+    def _op_extend(self) -> None:
+        self.guest.client.extend(12, self.rng.bytes(20))
+
+    def _op_pcr_read(self) -> None:
+        self.guest.client.pcr_read(12)
+
+    def _op_quote(self) -> None:
+        self.guest.client.quote(self.sign_key, KEY_AUTH, self.rng.bytes(20), [0, 12])
+
+    def _op_seal(self) -> None:
+        self.guest.client.seal(TPM_KH_SRK, SRK_AUTH, self.rng.bytes(24), DATA_AUTH)
+
+    def _op_unseal(self) -> None:
+        self.guest.client.unseal(TPM_KH_SRK, SRK_AUTH, self.sealed_blob, DATA_AUTH)
+
+    def _op_get_random(self) -> None:
+        self.guest.client.get_random(32)
+
+    def _op_sign(self) -> None:
+        digest = hashlib.sha1(self.rng.bytes(32)).digest()
+        self.guest.client.sign(self.sign_key, KEY_AUTH, digest)
+
+    def _op_create_wrap_key(self) -> None:
+        self._scratch_blob = self.guest.client.create_wrap_key(
+            TPM_KH_SRK, SRK_AUTH, KEY_AUTH, TPM_KEY_SIGNING, self._key_bits
+        )
+
+    def _op_load_key(self) -> None:
+        handle = self.guest.client.load_key2(TPM_KH_SRK, SRK_AUTH, self._scratch_blob)
+        self.guest.client.evict_key(handle)
+
+    def _op_nv_write(self) -> None:
+        self.guest.client.nv_write(
+            b"session-nv-auth!!!!!", 0x2000, 0, self.rng.bytes(32)
+        )
+
+    def _op_nv_read(self) -> None:
+        self.guest.client.nv_read(0x2000, 0, 32, auth=b"session-nv-auth!!!!!")
+
+    # -- running ---------------------------------------------------------------------
+
+    def run_operation(self, name: str) -> None:
+        try:
+            op = self._ops[name]
+        except KeyError:
+            raise ReproError(f"unknown workload operation {name!r}") from None
+        op()
+
+    def operation_names(self) -> list[str]:
+        return sorted(self._ops)
+
+    def _op_increment_counter(self) -> None:
+        self.guest.client.increment_counter(COUNTER_AUTH, self.counter_handle)
+
+
+#: every operation a session can run (the Table 1 row set)
+OPERATIONS: Sequence[str] = (
+    "extend",
+    "pcr_read",
+    "quote",
+    "seal",
+    "unseal",
+    "get_random",
+    "sign",
+    "create_wrap_key",
+    "load_key",
+    "nv_write",
+    "nv_read",
+    "increment_counter",
+)
+
+
+@dataclass(frozen=True)
+class CommandMix:
+    """A weighted distribution over operation names."""
+
+    name: str
+    weights: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ReproError(f"mix {self.name!r} has no operations")
+        unknown = set(self.weights) - set(OPERATIONS)
+        if unknown:
+            raise ReproError(f"mix {self.name!r} names unknown ops {unknown}")
+        if any(w < 0 for w in self.weights.values()) or sum(self.weights.values()) <= 0:
+            raise ReproError(f"mix {self.name!r} has invalid weights")
+
+    def draw(self, rng: RandomSource) -> str:
+        """Sample one operation name."""
+        total = sum(self.weights.values())
+        point = rng.uniform(0.0, total)
+        acc = 0.0
+        for op in sorted(self.weights):
+            acc += self.weights[op]
+            if point < acc:
+                return op
+        return sorted(self.weights)[-1]
+
+    def sequence(self, rng: RandomSource, count: int) -> list[str]:
+        return [self.draw(rng) for _ in range(count)]
+
+
+MIX_MEASUREMENT = CommandMix(
+    "measurement-heavy",
+    {"extend": 5.0, "pcr_read": 4.0, "get_random": 1.0},
+)
+MIX_SEALED_STORAGE = CommandMix(
+    "sealed-storage",
+    {"unseal": 4.0, "seal": 1.0, "nv_read": 2.0, "nv_write": 1.0, "pcr_read": 2.0},
+)
+MIX_ATTESTATION = CommandMix(
+    "attestation",
+    {"quote": 3.0, "extend": 2.0, "pcr_read": 3.0, "get_random": 2.0},
+)
+MIX_MIXED = CommandMix(
+    "mixed",
+    {
+        "extend": 3.0,
+        "pcr_read": 3.0,
+        "get_random": 2.0,
+        "sign": 1.0,
+        "unseal": 1.0,
+        "nv_read": 1.0,
+        "increment_counter": 1.0,
+    },
+)

@@ -1,0 +1,32 @@
+"""Xen-like hypervisor substrate.
+
+Domains, page-granular memory with foreign mapping, grant tables, event
+channels, XenStore, the tpmif shared-page transport and a credit scheduler
+— the machinery the stock vTPM design (and its attacks) run on.
+"""
+
+from repro.xen.domain import Domain, DomainState
+from repro.xen.event_channel import EventChannels
+from repro.xen.grant_table import GrantTable
+from repro.xen.hypercall import HypercallInterface
+from repro.xen.hypervisor import DOM0_ID, Xen
+from repro.xen.memory import PAGE_SIZE, MemoryRegion, PhysicalMemory
+from repro.xen.ring import TpmRing
+from repro.xen.scheduler import CreditScheduler
+from repro.xen.xenstore import XenStore
+
+__all__ = [
+    "Domain",
+    "DomainState",
+    "EventChannels",
+    "GrantTable",
+    "HypercallInterface",
+    "DOM0_ID",
+    "Xen",
+    "PAGE_SIZE",
+    "MemoryRegion",
+    "PhysicalMemory",
+    "TpmRing",
+    "CreditScheduler",
+    "XenStore",
+]

@@ -1,0 +1,81 @@
+"""Domains: Dom0, guest DomUs and stub domains.
+
+A domain owns a memory region, a vCPU register file (the target of the
+"CPU dump" attack), a kernel image (what launch-time measurement hashes)
+and a lifecycle state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.errors import XenError
+from repro.xen.memory import MemoryRegion
+
+#: vCPU register names modelled (x86-64 subset; enough for the dump attack)
+VCPU_REGISTERS = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15", "rip",
+)
+
+
+class DomainState(enum.Enum):
+    BUILDING = "building"
+    RUNNING = "running"
+    PAUSED = "paused"
+    SHUTDOWN = "shutdown"
+    DEAD = "dead"
+
+
+@dataclass
+class VcpuState:
+    """One vCPU's architectural state, dumpable by privileged tooling."""
+
+    registers: Dict[str, int] = field(
+        default_factory=lambda: {r: 0 for r in VCPU_REGISTERS}
+    )
+
+    def load_bytes(self, register: str, value: bytes) -> None:
+        """Stuff up to 8 bytes into a register (how secrets end up in CPUs)."""
+        if register not in self.registers:
+            raise XenError(f"no register {register!r}")
+        if len(value) > 8:
+            raise XenError("registers hold at most 8 bytes")
+        self.registers[register] = int.from_bytes(value, "big")
+
+    def dump(self) -> Dict[str, int]:
+        return dict(self.registers)
+
+
+@dataclass
+class Domain:
+    """A Xen domain."""
+
+    domid: int
+    name: str
+    uuid: str
+    privileged: bool
+    memory: MemoryRegion
+    kernel_image: bytes
+    config: Dict[str, str] = field(default_factory=dict)
+    state: DomainState = DomainState.BUILDING
+    vcpu: VcpuState = field(default_factory=VcpuState)
+    #: filled in by the identity layer at launch (SHA-256 measurement)
+    measurement: Optional[bytes] = None
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state in (DomainState.RUNNING, DomainState.PAUSED,
+                              DomainState.BUILDING)
+
+    def require_running(self) -> None:
+        if self.state != DomainState.RUNNING:
+            raise XenError(f"dom{self.domid} ({self.name}) is {self.state.value}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Domain(domid={self.domid}, name={self.name!r}, "
+            f"privileged={self.privileged}, state={self.state.value})"
+        )

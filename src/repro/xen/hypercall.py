@@ -1,0 +1,122 @@
+"""Per-domain hypercall interface with privilege enforcement.
+
+Domain software never touches :class:`~repro.xen.hypervisor.Xen` directly;
+it goes through a :class:`HypercallInterface` bound to its domid, which is
+where Xen's privilege model is enforced.  The dump-attack entry points —
+``foreign_map_page`` and ``dump_vcpu`` — live here: stock Xen grants them
+to any privileged domain, which is precisely the over-broad authority the
+paper's access-control improvement reins in for vTPM state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.timing import charge
+from repro.util.errors import XenError
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Xen
+
+
+class HypercallInterface:
+    """What a given domain can ask of the hypervisor."""
+
+    def __init__(self, xen: Xen, domid: int) -> None:
+        self._xen = xen
+        self.domid = domid
+
+    @property
+    def _me(self) -> Domain:
+        return self._xen.domain(self.domid)
+
+    def _require_privilege(self, operation: str) -> None:
+        if not self._me.privileged:
+            raise XenError(
+                f"dom{self.domid} lacks privilege for {operation} "
+                "(IS_PRIV check failed)"
+            )
+
+    # -- domctl (privileged) -------------------------------------------------------
+
+    def create_domain(self, name: str, kernel_image: bytes, **kwargs) -> Domain:
+        self._require_privilege("domctl.create")
+        charge("xen.hypercall")
+        return self._xen.create_domain(name, kernel_image, **kwargs)
+
+    def destroy_domain(self, domid: int) -> None:
+        self._require_privilege("domctl.destroy")
+        charge("xen.hypercall")
+        self._xen.destroy_domain(domid)
+
+    def pause_domain(self, domid: int) -> None:
+        self._require_privilege("domctl.pause")
+        charge("xen.hypercall")
+        self._xen.pause_domain(domid)
+
+    def unpause_domain(self, domid: int) -> None:
+        self._require_privilege("domctl.unpause")
+        charge("xen.hypercall")
+        self._xen.unpause_domain(domid)
+
+    def list_domains(self) -> List[Domain]:
+        self._require_privilege("domctl.getdomaininfo")
+        charge("xen.hypercall")
+        return self._xen.domains()
+
+    # -- the dump channels (privileged; the paper's attack surface) ------------------
+
+    def foreign_map_page(self, frame: int) -> bytes:
+        """Map an arbitrary frame (xc_map_foreign_range).
+
+        Protected frames refuse the mapping even for Dom0 — that refusal is
+        the memory half of the paper's improvement.
+        """
+        return self._xen.memory.foreign_map(
+            self.domid, frame, requester_privileged=self._me.privileged
+        )
+
+    def dump_domain_memory(self, target_domid: int) -> Dict[int, bytes]:
+        """``xm dump-core``: snapshot every mappable frame of a domain.
+
+        Returns {frame: contents}; protected frames are silently absent,
+        exactly like the real patchset's zero-fill behaviour.
+        """
+        self._require_privilege("dump-core")
+        self._xen.domain(target_domid)  # fail on bad domid before walking
+        image: Dict[int, bytes] = {}
+        for frame in self._xen.memory.frames_owned_by(target_domid):
+            try:
+                image[frame] = self._xen.memory.foreign_map(
+                    self.domid, frame, requester_privileged=True
+                )
+            except XenError:
+                continue  # protected frame: excluded from the dump
+        return image
+
+    def dump_vcpu(self, target_domid: int) -> Dict[str, int]:
+        """getvcpucontext: read a domain's architectural register state."""
+        self._require_privilege("domctl.getvcpucontext")
+        charge("xen.hypercall")
+        return self._xen.domain(target_domid).vcpu.dump()
+
+    # -- unprivileged services --------------------------------------------------------
+
+    def grant_access(self, grantee: int, frame: int, readonly: bool = False) -> int:
+        return self._xen.grants.grant_access(self.domid, grantee, frame, readonly)
+
+    def map_grant(self, granter: int, gref: int) -> int:
+        return self._xen.grants.map_grant(self.domid, granter, gref)
+
+    def evtchn_alloc_unbound(self, remote_domid: int) -> int:
+        return self._xen.events.alloc_unbound(self.domid, remote_domid)
+
+    def evtchn_notify(self, port: int) -> None:
+        self._xen.events.notify(port, self.domid)
+
+    def xenstore_write(self, path: str, value: str, **kwargs) -> None:
+        self._xen.store.write(
+            self.domid, path, value, privileged=self._me.privileged, **kwargs
+        )
+
+    def xenstore_read(self, path: str) -> str:
+        return self._xen.store.read(self.domid, path, privileged=self._me.privileged)

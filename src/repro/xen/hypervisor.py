@@ -1,0 +1,162 @@
+"""The hypervisor: domain lifecycle plus the shared machine services.
+
+One :class:`Xen` object is one physical machine: physical memory, grant
+table, event channels, XenStore, scheduler, and the domain table with
+Dom0 built at boot.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.crypto.random_source import RandomSource
+from repro.sim.timing import charge
+from repro.util.errors import DomainNotFound, XenError
+from repro.xen.domain import Domain, DomainState
+from repro.xen.event_channel import EventChannels
+from repro.xen.grant_table import GrantTable
+from repro.xen.memory import MemoryRegion, PhysicalMemory
+from repro.xen.scheduler import CreditScheduler
+from repro.xen.xenstore import XenStore
+
+DOM0_ID = 0
+DEFAULT_DOMAIN_PAGES = 64  # 256 KiB per simulated guest, enough for the stack
+
+
+class Xen:
+    """One virtualized machine."""
+
+    def __init__(
+        self,
+        rng: RandomSource,
+        total_pages: int = 1 << 16,
+        dom0_pages: int = 256,
+    ) -> None:
+        self.rng = rng
+        self.memory = PhysicalMemory(total_pages=total_pages)
+        self.grants = GrantTable(self.memory)
+        self.events = EventChannels()
+        self.store = XenStore()
+        self.scheduler = CreditScheduler()
+        self._domains: Dict[int, Domain] = {}
+        self._next_domid = itertools.count(1)
+        # Dom0 boots with the machine.
+        self._dom0 = self._build(
+            domid=DOM0_ID,
+            name="Domain-0",
+            pages=dom0_pages,
+            kernel_image=b"dom0-kernel-xen-3.4",
+            privileged=True,
+            config={},
+        )
+        self._dom0.state = DomainState.RUNNING
+
+    # -- domain lifecycle ----------------------------------------------------------
+
+    def _build(
+        self,
+        domid: int,
+        name: str,
+        pages: int,
+        kernel_image: bytes,
+        privileged: bool,
+        config: Dict[str, str],
+    ) -> Domain:
+        frames = self.memory.allocate(domid, pages)
+        uuid_bytes = self.rng.bytes(16)
+        domain = Domain(
+            domid=domid,
+            name=name,
+            uuid=uuid_bytes.hex(),
+            privileged=privileged,
+            memory=MemoryRegion(self.memory, domid, frames),
+            kernel_image=kernel_image,
+            config=dict(config),
+        )
+        self._domains[domid] = domain
+        return domain
+
+    def create_domain(
+        self,
+        name: str,
+        kernel_image: bytes,
+        pages: int = DEFAULT_DOMAIN_PAGES,
+        privileged: bool = False,
+        config: Optional[Dict[str, str]] = None,
+    ) -> Domain:
+        """Build and start a new domain (the ``xm create`` path)."""
+        charge("xen.domain.build")
+        if any(d.name == name and d.is_alive for d in self._domains.values()):
+            raise XenError(f"domain name {name!r} already in use")
+        domid = next(self._next_domid)
+        domain = self._build(
+            domid=domid,
+            name=name,
+            pages=pages,
+            kernel_image=kernel_image,
+            privileged=privileged,
+            config=config or {},
+        )
+        self.scheduler.add(domid)
+        self.store.write(
+            DOM0_ID,
+            f"/local/domain/{domid}/name",
+            name,
+            privileged=True,
+        )
+        self.store.write(
+            DOM0_ID,
+            f"/local/domain/{domid}/uuid",
+            domain.uuid,
+            privileged=True,
+        )
+        domain.state = DomainState.RUNNING
+        return domain
+
+    def destroy_domain(self, domid: int) -> None:
+        """Tear a domain down: scrub and free memory, drop from scheduler."""
+        domain = self.domain(domid)
+        if domid == DOM0_ID:
+            raise XenError("cannot destroy Domain-0")
+        domain.state = DomainState.DEAD
+        self.scheduler.remove(domid)
+        self.memory.free(domain.memory.frames)
+        self.store.remove(DOM0_ID, f"/local/domain/{domid}", privileged=True)
+
+    def pause_domain(self, domid: int) -> None:
+        domain = self.domain(domid)
+        if domain.state != DomainState.RUNNING:
+            raise XenError(f"dom{domid} not running")
+        domain.state = DomainState.PAUSED
+
+    def unpause_domain(self, domid: int) -> None:
+        domain = self.domain(domid)
+        if domain.state != DomainState.PAUSED:
+            raise XenError(f"dom{domid} not paused")
+        domain.state = DomainState.RUNNING
+
+    # -- lookup ---------------------------------------------------------------------
+
+    @property
+    def dom0(self) -> Domain:
+        return self._dom0
+
+    def domain(self, domid: int) -> Domain:
+        try:
+            return self._domains[domid]
+        except KeyError:
+            raise DomainNotFound(f"no domain with id {domid}") from None
+
+    def domain_by_name(self, name: str) -> Domain:
+        for domain in self._domains.values():
+            if domain.name == name and domain.is_alive:
+                return domain
+        raise DomainNotFound(f"no live domain named {name!r}")
+
+    def domains(self) -> list[Domain]:
+        return [self._domains[d] for d in sorted(self._domains)]
+
+    @property
+    def live_domain_count(self) -> int:
+        return sum(1 for d in self._domains.values() if d.is_alive)

@@ -1,0 +1,142 @@
+"""The tpmif transport: one granted page plus one event channel.
+
+Xen's vTPM split driver is not a multi-slot I/O ring: the front-end grants
+a single page to the back-end, writes a whole TPM command into it, kicks
+the event channel, and the back-end overwrites the page with the response.
+This module reproduces that byte-for-byte over the simulated grant table,
+physical pages and event channels — so the access-control monitor sits on
+a faithful command path, and so ring transfers cost virtual time.
+
+Page layout: ``status(u32) | length(u32) | payload…``
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from repro.sim.timing import charge
+from repro.util.errors import RingError
+from repro.xen.memory import PAGE_SIZE, PhysicalMemory
+
+STATUS_IDLE = 0
+STATUS_COMMAND = 1
+STATUS_RESPONSE = 2
+
+_HEADER = struct.Struct(">II")
+MAX_PAYLOAD = PAGE_SIZE - _HEADER.size
+
+Backend = Callable[[bytes], bytes]
+
+
+class TpmRing:
+    """Front-end view of the shared command page.
+
+    Built by the front-end domain: it allocates the page, grants it to the
+    back-end domain, and exchanges whole commands synchronously (the event
+    channel delivery is synchronous under the deterministic simulator,
+    matching the blocking ioctl path of the real tpmfront driver).
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        grants,            # GrantTable
+        events,            # EventChannels
+        front_domid: int,
+        back_domid: int,
+    ) -> None:
+        self._memory = memory
+        self._grants = grants
+        self._events = events
+        self.front_domid = front_domid
+        self.back_domid = back_domid
+        [self.frame] = memory.allocate(front_domid, 1)
+        self.gref = grants.grant_access(front_domid, back_domid, self.frame)
+        self.port = events.alloc_unbound(front_domid, back_domid)
+        self._backend: Optional[Backend] = None
+        self._mapped_frame: Optional[int] = None
+        self.commands_carried = 0
+        events.bind(self.port, front_domid, self._on_front_event)
+        self._response_ready = False
+
+    # -- back-end side -----------------------------------------------------------
+
+    def connect_backend(self, backend: Backend) -> None:
+        """Back-end maps the grant and installs its command handler."""
+        self._mapped_frame = self._grants.map_grant(
+            self.back_domid, self.front_domid, self.gref
+        )
+        self._backend = backend
+        self._events.bind(self.port, self.back_domid, self._on_back_event)
+
+    def disconnect_backend(self) -> None:
+        if self._mapped_frame is not None:
+            self._grants.unmap_grant(self.back_domid, self.front_domid, self.gref)
+            self._mapped_frame = None
+        self._backend = None
+
+    def _on_back_event(self, _port: int) -> None:
+        """Back-end interrupt: read command, execute, write response."""
+        if self._backend is None or self._mapped_frame is None:
+            raise RingError("back-end notified but not connected")
+        status, length = _HEADER.unpack(
+            self._memory.read(self.back_domid, self._mapped_frame, 0, _HEADER.size)
+        )
+        if status != STATUS_COMMAND:
+            raise RingError(f"back-end woke with status {status}, not COMMAND")
+        if length > MAX_PAYLOAD:
+            raise RingError(f"command of {length} bytes exceeds page window")
+        charge("xen.ring.transfer", length)
+        command = self._memory.read(
+            self.back_domid, self._mapped_frame, _HEADER.size, length
+        )
+        response = self._backend(command)
+        if len(response) > MAX_PAYLOAD:
+            raise RingError(f"response of {len(response)} bytes exceeds page window")
+        charge("xen.ring.transfer", len(response))
+        self._memory.write(
+            self.back_domid,
+            self._mapped_frame,
+            0,
+            _HEADER.pack(STATUS_RESPONSE, len(response)) + response,
+        )
+        self._events.notify(self.port, self.back_domid)
+
+    # -- front-end side ------------------------------------------------------------
+
+    def _on_front_event(self, _port: int) -> None:
+        self._response_ready = True
+
+    def send_command(self, command: bytes) -> bytes:
+        """Carry one TPM command to the back-end and return its response."""
+        if len(command) > MAX_PAYLOAD:
+            raise RingError(f"command of {len(command)} bytes exceeds page window")
+        if self._backend is None:
+            raise RingError("no back-end connected to this vTPM ring")
+        charge("xen.ring.transfer", len(command))
+        self._memory.write(
+            self.front_domid,
+            self.frame,
+            0,
+            _HEADER.pack(STATUS_COMMAND, len(command)) + command,
+        )
+        self._response_ready = False
+        self._events.notify(self.port, self.front_domid)
+        if not self._response_ready:
+            raise RingError("back-end did not produce a response")
+        status, length = _HEADER.unpack(
+            self._memory.read(self.front_domid, self.frame, 0, _HEADER.size)
+        )
+        if status != STATUS_RESPONSE:
+            raise RingError(f"front-end woke with status {status}, not RESPONSE")
+        response = self._memory.read(self.front_domid, self.frame, _HEADER.size, length)
+        self.commands_carried += 1
+        return response
+
+    def teardown(self) -> None:
+        """Release grant, channel and page (front-end shutdown path)."""
+        self.disconnect_backend()
+        self._grants.end_access(self.front_domid, self.gref)
+        self._events.close(self.port)
+        self._memory.free([self.frame])

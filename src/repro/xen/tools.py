@@ -1,0 +1,91 @@
+"""`xm`-style administrative tooling over the hypercall interface.
+
+Formatted views of the machine for operators — and, in the baseline threat
+model, for attackers: ``xm_dump_core`` is exactly the tool the paper's
+abstract calls "memory dump software".  Everything funnels through
+:class:`~repro.xen.hypercall.HypercallInterface`, so privilege checks
+apply identically to humans and scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.tables import format_table
+from repro.xen.domain import Domain
+from repro.xen.hypercall import HypercallInterface
+from repro.xen.memory import PAGE_SIZE
+
+
+def xm_list(hypercalls: HypercallInterface) -> str:
+    """``xm list``: one row per domain."""
+    rows = []
+    for domain in hypercalls.list_domains():
+        rows.append(
+            (
+                domain.domid,
+                domain.name,
+                len(domain.memory.frames) * PAGE_SIZE // 1024,
+                domain.state.value,
+                "yes" if domain.privileged else "no",
+            )
+        )
+    return format_table(
+        ["id", "name", "mem (KiB)", "state", "privileged"], rows,
+        title="xm list",
+    )
+
+
+def xm_info(hypercalls: HypercallInterface) -> str:
+    """``xm info``: machine-level summary."""
+    xen = hypercalls._xen
+    rows = [
+        ("total_pages", xen.memory.total_pages),
+        ("allocated_pages", xen.memory.allocated_pages),
+        ("free_pages", xen.memory.total_pages - xen.memory.allocated_pages),
+        ("live_domains", xen.live_domain_count),
+        ("event_channels", xen.events.open_count),
+        ("active_grants", xen.grants.active_grants),
+        ("xenstore_nodes", xen.store.node_count),
+    ]
+    return format_table(["property", "value"], rows, title="xm info")
+
+
+def xm_vcpu_list(hypercalls: HypercallInterface, domid: int) -> str:
+    """``xm vcpu-list`` with register contents (the CPU-dump tool)."""
+    registers = hypercalls.dump_vcpu(domid)
+    rows = [(name, f"{value:#018x}") for name, value in sorted(registers.items())]
+    return format_table(
+        ["register", "value"], rows, title=f"vcpu context of dom{domid}"
+    )
+
+
+def xm_dump_core(hypercalls: HypercallInterface, domid: int) -> bytes:
+    """``xm dump-core``: the raw memory image (paper's attack tool).
+
+    Returns the concatenated mappable pages.  Hypervisor-protected frames
+    are absent, so on an improved platform the vTPM state simply is not in
+    the file.
+    """
+    image = hypercalls.dump_domain_memory(domid)
+    return b"".join(image[frame] for frame in sorted(image))
+
+
+def xm_destroy(hypercalls: HypercallInterface, domid: int) -> None:
+    """``xm destroy``: immediate teardown."""
+    hypercalls.destroy_domain(domid)
+
+
+def xenstore_ls(hypercalls: HypercallInterface, path: str = "/") -> List[str]:
+    """``xenstore-ls``: recursive listing of node paths under ``path``."""
+    xen = hypercalls._xen
+    out: List[str] = []
+
+    def walk(node_path: str) -> None:
+        for child in xen.store.list_dir(node_path):
+            child_path = (node_path.rstrip("/") + "/" + child)
+            out.append(child_path)
+            walk(child_path)
+
+    walk(path)
+    return out

@@ -1,0 +1,133 @@
+"""XenStore: the hierarchical configuration registry.
+
+Split drivers rendezvous through paths like
+``/local/domain/<id>/device/vtpm/0/backend``; the vTPM manager publishes
+instance bindings under ``/vtpm/<uuid>``.  Nodes carry an owner domain and
+a read-permission list.  In stock Xen, Dom0 may rewrite anything — which is
+how the rogue re-binding attack works; the improved access-control layer
+does not trust XenStore bindings and verifies identity cryptographically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.timing import charge
+from repro.util.errors import XenStoreError
+
+Watch = Callable[[str, Optional[str]], None]  # (path, new value or None)
+
+
+@dataclass
+class Node:
+    path: str
+    value: str = ""
+    owner: int = 0
+    readers: set[int] = field(default_factory=set)  # empty = world-readable
+
+
+class XenStore:
+    """A flat-path store with Xen-ish permission semantics."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._watches: Dict[str, List[Watch]] = {}
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            raise XenStoreError(f"path must be absolute: {path!r}")
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path.rstrip("/") or "/"
+
+    def write(
+        self,
+        domid: int,
+        path: str,
+        value: str,
+        *,
+        privileged: bool = False,
+        readers: Optional[set[int]] = None,
+    ) -> None:
+        """Create or update a node.
+
+        Unprivileged domains may only write under their own
+        ``/local/domain/<id>`` subtree or nodes they already own —
+        Dom0 (privileged) may write anything, faithfully reproducing the
+        over-broad authority the paper worries about.
+        """
+        charge("xen.xenstore.op")
+        path = self._normalize(path)
+        existing = self._nodes.get(path)
+        if not privileged:
+            own_prefix = f"/local/domain/{domid}"
+            owns_existing = existing is not None and existing.owner == domid
+            if not path.startswith(own_prefix) and not owns_existing:
+                raise XenStoreError(
+                    f"dom{domid} may not write {path} (outside its subtree)"
+                )
+        owner = existing.owner if existing is not None else domid
+        node = Node(path=path, value=value, owner=owner)
+        if readers is not None:
+            node.readers = set(readers)
+        elif existing is not None:
+            node.readers = set(existing.readers)
+        self._nodes[path] = node
+        self._fire_watches(path, value)
+
+    def read(self, domid: int, path: str, *, privileged: bool = False) -> str:
+        charge("xen.xenstore.op")
+        path = self._normalize(path)
+        node = self._nodes.get(path)
+        if node is None:
+            raise XenStoreError(f"no such node {path}")
+        if node.readers and domid not in node.readers and node.owner != domid \
+                and not privileged:
+            raise XenStoreError(f"dom{domid} may not read {path}")
+        return node.value
+
+    def exists(self, path: str) -> bool:
+        return self._normalize(path) in self._nodes
+
+    def remove(self, domid: int, path: str, *, privileged: bool = False) -> None:
+        charge("xen.xenstore.op")
+        path = self._normalize(path)
+        # Remove the node and its subtree, as xenstore-rm does.  The parent
+        # path itself may not exist as a node (directories are implicit).
+        doomed = [k for k in self._nodes if k == path or k.startswith(path + "/")]
+        if not privileged:
+            for key in doomed:
+                if self._nodes[key].owner != domid:
+                    raise XenStoreError(f"dom{domid} may not remove {key}")
+        for key in doomed:
+            del self._nodes[key]
+            self._fire_watches(key, None)
+
+    def list_dir(self, path: str) -> list[str]:
+        """Immediate children names of a path (xenstore-ls one level)."""
+        path = self._normalize(path)
+        prefix = "/" if path == "/" else path + "/"
+        children = set()
+        for key in self._nodes:
+            if key.startswith(prefix) and key != path:
+                rest = key[len(prefix):]
+                if rest:
+                    children.add(rest.split("/", 1)[0])
+        return sorted(children)
+
+    def watch(self, path: str, callback: Watch) -> None:
+        """Fire ``callback`` on writes/removes at or under ``path``."""
+        path = self._normalize(path)
+        self._watches.setdefault(path, []).append(callback)
+
+    def _fire_watches(self, path: str, value: Optional[str]) -> None:
+        for watch_path, callbacks in self._watches.items():
+            if path == watch_path or path.startswith(watch_path + "/"):
+                for cb in list(callbacks):
+                    cb(path, value)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,64 @@
+"""Shared fixtures.
+
+Every test gets a fresh timing context (clock at zero, default cost model)
+so virtual-time assertions are isolated; platform fixtures build the two
+regimes with small keys for host speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AccessMode
+from repro.crypto.random_source import RandomSource
+from repro.harness.builder import Platform, build_platform, fresh_timing_context
+
+
+@pytest.fixture(autouse=True)
+def timing_context():
+    """Fresh virtual clock and cost model per test."""
+    yield fresh_timing_context()
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(b"test-rng-seed")
+
+
+@pytest.fixture
+def baseline_platform() -> Platform:
+    return build_platform(AccessMode.BASELINE, seed=3, name="t-baseline")
+
+
+@pytest.fixture
+def improved_platform() -> Platform:
+    return build_platform(AccessMode.IMPROVED, seed=3, name="t-improved")
+
+
+@pytest.fixture
+def tpm_device(rng):
+    """A powered hardware-style TPM with small keys."""
+    from repro.tpm.device import TpmDevice
+
+    device = TpmDevice(rng.fork("dev"), key_bits=512)
+    device.power_on()
+    return device
+
+
+@pytest.fixture
+def tpm_client(tpm_device, rng):
+    from repro.tpm.client import TpmClient
+
+    return TpmClient(tpm_device.execute, rng.fork("cli"))
+
+
+OWNER = b"T" * 20
+SRK = b"S" * 20
+
+
+@pytest.fixture
+def owned_client(tpm_client):
+    """A client whose TPM already has an owner and SRK."""
+    ek = tpm_client.read_pubek()
+    tpm_client.take_ownership(OWNER, SRK, ek)
+    return tpm_client

@@ -1,0 +1,172 @@
+"""Failure injection: corrupted storage, abused transports, exhaustion."""
+
+import hashlib
+
+import pytest
+
+from repro.core.config import AccessMode
+from repro.harness.builder import build_platform
+from repro.util.errors import (
+    MarshalError,
+    RingError,
+    SealingError,
+    TpmError,
+    VtpmError,
+)
+
+
+class TestStorageCorruption:
+    def test_improved_detects_any_corruption(self, improved_platform):
+        platform = improved_platform
+        guest = platform.add_guest("g")
+        platform.manager.save_instance(guest.instance_id)
+        name = f"vtpm-state-{guest.domain.uuid}"
+        blob = bytearray(platform.disk.read(name))
+        blob[len(blob) // 2] ^= 0xFF
+        platform.disk.write(name, bytes(blob))
+        platform.manager.destroy_instance(guest.instance_id, persist=False)
+        with pytest.raises(SealingError):
+            platform.manager.restore_instance(guest.domain)
+
+    def test_baseline_detects_structural_corruption(self, baseline_platform):
+        platform = baseline_platform
+        guest = platform.add_guest("g")
+        platform.manager.save_instance(guest.instance_id)
+        name = f"vtpm-state-{guest.domain.uuid}"
+        platform.disk.write(name, b"garbage " * 10)
+        platform.manager.destroy_instance(guest.instance_id, persist=False)
+        with pytest.raises(MarshalError):
+            platform.manager.restore_instance(guest.domain)
+
+    def test_missing_state_file(self, baseline_platform):
+        platform = baseline_platform
+        guest = platform.add_guest("g")
+        platform.manager.destroy_instance(guest.instance_id, persist=False)
+        with pytest.raises(VtpmError):
+            platform.manager.restore_instance(guest.domain)
+
+    def test_swapped_state_files_rejected_in_improved(self, improved_platform):
+        """A (ciphertext) state file renamed to another VM's slot fails:
+        the per-instance key derivation binds uuid + identity."""
+        platform = improved_platform
+        a = platform.add_guest("alpha")
+        b = platform.add_guest("beta")
+        platform.manager.save_all()
+        file_a = platform.disk.read(f"vtpm-state-{a.domain.uuid}")
+        platform.disk.write(f"vtpm-state-{b.domain.uuid}", file_a)
+        platform.manager.destroy_instance(b.instance_id, persist=False)
+        with pytest.raises(SealingError):
+            platform.manager.restore_instance(b.domain)
+
+
+class TestTransportAbuse:
+    def test_garbage_injected_into_ring_surfaces_as_tpm_error(
+        self, baseline_platform
+    ):
+        """Dom0 maps the ring page and injects garbage: the manager answers
+        with a TPM error frame; the instance keeps working."""
+        platform = baseline_platform
+        guest = platform.add_guest("g")
+        ring = guest.frontend.ring
+        import struct
+
+        garbage = b"\xde\xad\xbe\xef" * 4
+        # Dom0 writes through its grant mapping; the kick must arrive at
+        # the back-end as if from the front-end (the injection vector).
+        platform.xen.memory.write(
+            0, ring.frame, 0, struct.pack(">II", 1, len(garbage)) + garbage
+        )
+        platform.xen.events.notify(ring.port, guest.domain.domid)
+        # The response the backend wrote is an error frame:
+        status, length = struct.unpack(
+            ">II", platform.xen.memory.read(0, ring.frame, 0, 8)
+        )
+        assert status == 2
+        from repro.tpm import marshal
+
+        body = platform.xen.memory.read(0, ring.frame, 8, length)
+        assert marshal.parse_response(body).return_code != 0
+        # And legitimate traffic still flows afterwards.
+        assert len(guest.client.get_random(4)) == 4
+
+    def test_oversized_frontend_command_rejected_locally(self, baseline_platform):
+        guest = baseline_platform.add_guest("g")
+        with pytest.raises(RingError):
+            guest.frontend.transport(b"\x00" * 5000)
+
+    def test_notify_with_bad_status_raises_ring_error(self, baseline_platform):
+        platform = baseline_platform
+        guest = platform.add_guest("g")
+        ring = guest.frontend.ring
+        import struct
+
+        platform.xen.memory.write(0, ring.frame, 0, struct.pack(">II", 7, 0))
+        with pytest.raises(RingError, match="status 7"):
+            platform.xen.events.notify(ring.port, guest.domain.domid)
+
+
+class TestResourceExhaustion:
+    def test_session_exhaustion_surfaces_tpm_resources(self, tpm_client):
+        from repro.tpm.constants import MAX_SESSIONS, TPM_RESOURCES
+
+        sessions = [tpm_client.oiap() for _ in range(MAX_SESSIONS)]
+        with pytest.raises(TpmError) as err:
+            tpm_client.oiap()
+        assert err.value.code == TPM_RESOURCES
+        # Flushing one frees a slot.
+        tpm_client.flush_session(sessions[0])
+        tpm_client.oiap()
+
+    def test_key_slot_exhaustion(self, owned_client):
+        from tests.conftest import SRK
+        from repro.tpm.constants import MAX_KEY_SLOTS, TPM_KEY_SIGNING, TPM_KH_SRK, TPM_RESOURCES
+
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, b"K" * 20, TPM_KEY_SIGNING, 512
+        )
+        handles = [
+            owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+            for _ in range(MAX_KEY_SLOTS)
+        ]
+        with pytest.raises(TpmError) as err:
+            owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        assert err.value.code == TPM_RESOURCES
+        owned_client.evict_key(handles[0])
+        owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+
+    def test_machine_memory_exhaustion(self):
+        from repro.crypto.random_source import RandomSource
+        from repro.util.errors import XenError
+        from repro.xen.hypervisor import Xen
+
+        xen = Xen(RandomSource(b"small"), total_pages=300, dom0_pages=256)
+        xen.create_domain("one", b"k", pages=30)
+        with pytest.raises(XenError, match="out of memory"):
+            xen.create_domain("two", b"k", pages=30)
+
+
+class TestAuditResilience:
+    def test_audit_survives_denials_and_verifies(self, improved_platform):
+        platform = improved_platform
+        victim = platform.add_guest("victim")
+        attacker = platform.add_guest("attacker")
+        attacker.backend.rebind(victim.instance_id)
+        for _ in range(5):
+            with pytest.raises(TpmError):
+                attacker.client.pcr_read(0)
+        attacker.backend.rebind(attacker.instance_id)
+        assert len(platform.audit.denials()) == 5
+        assert platform.audit.verify_chain()
+
+    def test_denied_commands_do_not_touch_instance(self, improved_platform):
+        platform = improved_platform
+        victim = platform.add_guest("victim")
+        attacker = platform.add_guest("attacker")
+        instance = platform.manager.instance(victim.instance_id)
+        handled_before = instance.commands_handled
+        attacker.backend.rebind(victim.instance_id)
+        with pytest.raises(TpmError):
+            attacker.client.extend(10, b"\xee" * 20)
+        attacker.backend.rebind(attacker.instance_id)
+        assert instance.commands_handled == handled_before
+        assert victim.client.pcr_read(10) == b"\x00" * 20

@@ -1,0 +1,35 @@
+"""Integration: the open-loop latency-under-load experiment."""
+
+from repro.harness.loadtest import run_latency_under_load
+
+
+class TestLatencyUnderLoad:
+    def test_queueing_grows_with_load(self):
+        result = run_latency_under_load(
+            offered_rates=(5_000, 30_000), guests=3, duration_s=0.2
+        )
+        baseline = result.series("baseline")
+        assert baseline[-1].latency.mean > baseline[0].latency.mean
+        assert baseline[-1].latency.p95 > baseline[0].latency.p95
+
+    def test_improved_above_baseline_every_load(self):
+        result = run_latency_under_load(
+            offered_rates=(5_000, 25_000), guests=3, duration_s=0.2
+        )
+        for b, i in zip(result.series("baseline"), result.series("improved")):
+            assert i.latency.mean > b.latency.mean
+            assert i.latency.mean / b.latency.mean < 1.6
+
+    def test_identical_arrivals_across_regimes(self):
+        result = run_latency_under_load(
+            offered_rates=(10_000,), guests=2, duration_s=0.15
+        )
+        baseline, improved = result.series("baseline"), result.series("improved")
+        assert baseline[0].completed == improved[0].completed > 0
+
+    def test_deterministic(self):
+        a = run_latency_under_load(offered_rates=(8_000,), guests=2,
+                                   duration_s=0.1)
+        b = run_latency_under_load(offered_rates=(8_000,), guests=2,
+                                   duration_s=0.1)
+        assert a.rows() == b.rows()

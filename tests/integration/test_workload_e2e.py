@@ -1,0 +1,117 @@
+"""Integration: workloads driven over live platforms."""
+
+import hashlib
+
+import pytest
+
+from repro.core.config import AccessMode
+from repro.crypto.random_source import RandomSource
+from repro.harness.builder import build_platform
+from repro.workloads.attestation import AttestationWorkload
+from repro.workloads.mixes import MIX_MIXED, GuestSession
+from repro.workloads.webapp import SealedStorageWebApp
+
+
+class TestAttestationWorkload:
+    def test_rounds_verify_on_healthy_guest(self, improved_platform):
+        guest = improved_platform.add_guest("healthy")
+        session = GuestSession(guest, improved_platform.rng.fork("s"))
+        workload = AttestationWorkload(
+            session, improved_platform.rng.fork("chal")
+        )
+        result = workload.run(rounds=5)
+        assert result.all_verified
+
+    def test_corrupted_pcr_fails_expected_values(self, improved_platform):
+        guest = improved_platform.add_guest("tampered")
+        session = GuestSession(guest, improved_platform.rng.fork("s"))
+        workload = AttestationWorkload(
+            session, improved_platform.rng.fork("chal"), pcr_indices=(12,)
+        )
+        reference = [guest.client.pcr_read(12)]
+        assert workload.challenge_once(expected_values=reference)
+        guest.client.extend(12, hashlib.sha1(b"implant").digest())
+        assert not workload.challenge_once(expected_values=reference)
+        # Without a reference the quote still *verifies* (signature is
+        # valid); it is the comparison that flags the change.
+        assert workload.challenge_once()
+
+    def test_forged_signature_rejected(self, improved_platform):
+        guest = improved_platform.add_guest("forged")
+        session = GuestSession(guest, improved_platform.rng.fork("s"))
+        workload = AttestationWorkload(session, improved_platform.rng.fork("c"))
+        # Swap in an unrelated public key: every round must fail.
+        from repro.crypto.rsa import generate_keypair
+
+        workload.public = generate_keypair(
+            512, RandomSource(b"unrelated")
+        ).public
+        result = workload.run(rounds=3)
+        assert result.failed == 3
+
+
+class TestWebAppWorkload:
+    def test_deployments_ordering(self):
+        """no-vtpm >= baseline >= improved in requests/s, same misses."""
+        results = {}
+        for deployment, mode in (
+            ("no-vtpm", None),
+            ("baseline", AccessMode.BASELINE),
+            ("improved", AccessMode.IMPROVED),
+        ):
+            from repro.harness.builder import fresh_timing_context
+
+            fresh_timing_context()
+            session = None
+            if mode is not None:
+                platform = build_platform(mode, seed=70)
+                guest = platform.add_guest("web")
+                session = GuestSession(guest, platform.rng.fork("s"))
+            app = SealedStorageWebApp(
+                RandomSource(70), session, deployment, cache_hit_ratio=0.85
+            )
+            results[deployment] = app.serve(400)
+        assert (
+            results["no-vtpm"].requests_per_sec
+            >= results["baseline"].requests_per_sec
+            >= results["improved"].requests_per_sec
+        )
+        assert (
+            results["no-vtpm"].misses
+            == results["baseline"].misses
+            == results["improved"].misses
+        )
+
+    def test_cache_ratio_extremes(self, baseline_platform):
+        guest = baseline_platform.add_guest("web")
+        session = GuestSession(guest, baseline_platform.rng.fork("s"))
+        always_hit = SealedStorageWebApp(
+            RandomSource(1), session, "baseline", cache_hit_ratio=1.0
+        ).serve(100)
+        assert always_hit.misses == 0
+        always_miss = SealedStorageWebApp(
+            RandomSource(1), session, "baseline", cache_hit_ratio=0.0
+        ).serve(100)
+        assert always_miss.misses == 100
+        assert always_miss.requests_per_sec < always_hit.requests_per_sec
+
+    def test_invalid_configs_rejected(self):
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            SealedStorageWebApp(RandomSource(1), None, "baseline")
+        with pytest.raises(ReproError):
+            SealedStorageWebApp(RandomSource(1), None, "weird")
+
+
+class TestMixedWorkloadStability:
+    def test_long_mixed_run_both_regimes(self):
+        """A few hundred mixed commands run clean in both regimes."""
+        for mode in (AccessMode.BASELINE, AccessMode.IMPROVED):
+            platform = build_platform(mode, seed=71)
+            guest = platform.add_guest("grinder")
+            session = GuestSession(guest, platform.rng.fork("s"))
+            plan = MIX_MIXED.sequence(RandomSource(b"grind"), 200)
+            for op in plan:
+                session.run_operation(op)
+            assert platform.manager.commands_denied == 0

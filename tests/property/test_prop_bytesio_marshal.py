@@ -1,0 +1,107 @@
+"""Property tests: wire-format round-trips never lose or invent bytes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tpm import marshal
+from repro.tpm.marshal import AuthTrailer
+from repro.util.bytesio import ByteReader, ByteWriter
+
+u8 = st.integers(0, 0xFF)
+u16 = st.integers(0, 0xFFFF)
+u32 = st.integers(0, 0xFFFFFFFF)
+u64 = st.integers(0, 0xFFFFFFFFFFFFFFFF)
+blob = st.binary(max_size=512)
+
+
+@given(u8, u16, u32, u64, blob)
+def test_writer_reader_roundtrip(a, b, c, d, data):
+    wire = (
+        ByteWriter().u8(a).u16(b).u32(c).u64(d).sized(data).getvalue()
+    )
+    r = ByteReader(wire)
+    assert r.u8() == a
+    assert r.u16() == b
+    assert r.u32() == c
+    assert r.u64() == d
+    assert r.sized() == data
+    r.expect_end()
+
+
+@given(st.lists(blob, max_size=10))
+def test_sized_sequence_roundtrip(blobs):
+    w = ByteWriter()
+    for item in blobs:
+        w.sized(item)
+    r = ByteReader(w.getvalue())
+    assert [r.sized() for _ in blobs] == blobs
+    r.expect_end()
+
+
+@given(u32, blob)
+def test_plain_command_roundtrip(ordinal, params):
+    parsed = marshal.parse_command(marshal.build_command(ordinal, params))
+    assert parsed.ordinal == ordinal
+    assert parsed.params == params
+    assert parsed.auth is None
+
+
+@given(
+    u32,
+    blob,
+    u32,
+    st.binary(min_size=20, max_size=20),
+    st.booleans(),
+    st.binary(min_size=20, max_size=20),
+)
+def test_auth_command_roundtrip(ordinal, params, handle, nonce, cont, auth):
+    trailer = AuthTrailer(
+        handle=handle, nonce_odd=nonce, continue_session=cont, auth_value=auth
+    )
+    parsed = marshal.parse_command(
+        marshal.build_command(ordinal, params, auth=trailer)
+    )
+    assert parsed.ordinal == ordinal
+    assert parsed.params == params
+    assert parsed.auth == trailer
+
+
+@given(u32, blob)
+def test_plain_response_roundtrip(code, params):
+    parsed = marshal.parse_response(marshal.build_response(code, params))
+    assert parsed.return_code == code
+    assert parsed.params == params
+
+
+@given(
+    u32, blob, st.binary(min_size=20, max_size=20), st.booleans(),
+    st.binary(min_size=20, max_size=20),
+)
+def test_auth_response_roundtrip(code, params, nonce, cont, resauth):
+    parsed = marshal.parse_response(
+        marshal.build_response(
+            code, params, nonce_even=nonce, continue_session=cont,
+            response_auth=resauth,
+        )
+    )
+    assert parsed.return_code == code
+    assert parsed.params == params
+    assert parsed.nonce_even == nonce
+    assert parsed.continue_session == cont
+    assert parsed.response_auth == resauth
+
+
+@given(st.binary(max_size=64))
+def test_parser_never_crashes_on_garbage(garbage):
+    """Any byte string either parses or raises a library error — never an
+    unexpected exception type."""
+    from repro.util.errors import MarshalError, TpmError
+
+    try:
+        marshal.parse_command(garbage)
+    except (MarshalError, TpmError):
+        pass
+    try:
+        marshal.parse_response(garbage)
+    except (MarshalError, TpmError):
+        pass

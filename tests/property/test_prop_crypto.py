@@ -1,0 +1,103 @@
+"""Property tests: crypto substrate invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.kdf import derive_key
+from repro.crypto.random_source import RandomSource
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.symmetric import SymmetricKey
+from repro.util.errors import CryptoError
+
+# One key pair for the whole module: keygen is the expensive part and the
+# properties quantify over messages, not keys.
+KEYPAIR = generate_keypair(512, RandomSource(b"prop-rsa"))
+
+
+@given(st.binary(min_size=20, max_size=20))
+def test_rsa_sign_verify_total(digest):
+    signature = KEYPAIR.sign_sha1(digest)
+    assert KEYPAIR.public.verify_sha1(digest, signature)
+
+
+@given(st.binary(min_size=20, max_size=20), st.binary(min_size=20, max_size=20))
+def test_rsa_signature_binds_digest(d1, d2):
+    signature = KEYPAIR.sign_sha1(d1)
+    assert KEYPAIR.public.verify_sha1(d2, signature) == (d1 == d2)
+
+
+@given(st.binary(min_size=1, max_size=53), st.integers(0, 2**32 - 1))
+def test_rsa_encrypt_decrypt_total(plaintext, seed):
+    rng = RandomSource(seed)
+    assert KEYPAIR.decrypt(KEYPAIR.public.encrypt(plaintext, rng)) == plaintext
+
+
+@given(st.binary(max_size=2048), st.integers(0, 2**32 - 1))
+def test_symmetric_roundtrip_total(plaintext, seed):
+    rng = RandomSource(seed)
+    key = SymmetricKey.generate(rng)
+    assert key.decrypt(key.encrypt(plaintext, rng)) == plaintext
+
+
+@given(
+    st.binary(min_size=1, max_size=256),
+    st.integers(0, 255),
+    st.integers(0, 2**32 - 1),
+)
+def test_symmetric_any_flip_detected(plaintext, flip_at, seed):
+    """Flipping any ciphertext byte breaks authentication."""
+    rng = RandomSource(seed)
+    key = SymmetricKey.generate(rng)
+    blob = key.encrypt(plaintext, rng)
+    idx = flip_at % len(blob.ciphertext)
+    from repro.crypto.symmetric import EncryptedBlob
+
+    tampered = EncryptedBlob(
+        nonce=blob.nonce,
+        ciphertext=(
+            blob.ciphertext[:idx]
+            + bytes([blob.ciphertext[idx] ^ 0x01])
+            + blob.ciphertext[idx + 1 :]
+        ),
+        tag=blob.tag,
+    )
+    with pytest.raises(CryptoError):
+        key.decrypt(tampered)
+
+
+@given(
+    st.binary(min_size=1, max_size=64),
+    st.binary(max_size=32),
+    st.binary(max_size=32),
+    st.integers(1, 128),
+)
+def test_kdf_deterministic_and_sized(secret, salt, info, length):
+    a = derive_key(secret, salt, info, length)
+    b = derive_key(secret, salt, info, length)
+    assert a == b
+    assert len(a) == length
+
+
+@given(st.binary(min_size=1, max_size=32), st.binary(min_size=1, max_size=32))
+def test_kdf_info_separation(info1, info2):
+    k1 = derive_key(b"root", b"salt", info1)
+    k2 = derive_key(b"root", b"salt", info2)
+    assert (k1 == k2) == (info1 == info2)
+
+
+@given(st.integers(0, 2**64 - 1), st.integers(1, 512))
+def test_random_source_reproducible(seed, count):
+    assert RandomSource(seed).bytes(count) == RandomSource(seed).bytes(count)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(1, 10_000))
+def test_randint_below_uniform_support(seed, bound):
+    value = RandomSource(seed).randint_below(bound)
+    assert 0 <= value < bound
+
+
+@given(st.integers(0, 2**32 - 1), st.lists(st.integers(), min_size=1, max_size=50))
+def test_shuffle_is_permutation(seed, items):
+    shuffled = RandomSource(seed).shuffle(list(items))
+    assert sorted(shuffled) == sorted(items)

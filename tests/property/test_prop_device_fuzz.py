@@ -1,0 +1,70 @@
+"""Property tests: the TPM device is total over arbitrary wire input.
+
+Whatever bytes arrive — random garbage, truncated frames, valid headers
+with garbage params — the device must always return a parseable response
+frame and never raise, exactly like hardware.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.random_source import RandomSource
+from repro.tpm import marshal
+from repro.tpm.constants import TPM_SUCCESS
+from repro.tpm.device import TpmDevice
+from repro.tpm.dispatch import registered_ordinals
+
+# One shared device: the property is about input handling, not state.
+_DEVICE = TpmDevice(RandomSource(b"fuzz"), key_bits=512)
+_DEVICE.power_on()
+
+ORDINALS = sorted(registered_ordinals())
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=256))
+def test_raw_garbage_always_answered(garbage):
+    response = _DEVICE.execute(garbage)
+    parsed = marshal.parse_response(response)
+    assert parsed.return_code != TPM_SUCCESS or garbage[:2] in (
+        b"\x00\xc1",
+        b"\x00\xc2",
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.sampled_from(ORDINALS), st.binary(max_size=128))
+def test_valid_header_garbage_params_always_answered(ordinal, params):
+    wire = marshal.build_command(ordinal, params)
+    response = _DEVICE.execute(wire)
+    marshal.parse_response(response)  # must parse
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sampled_from(ORDINALS),
+    st.binary(max_size=64),
+    st.integers(0, 0xFFFFFFFF),
+    st.binary(min_size=20, max_size=20),
+    st.booleans(),
+    st.binary(min_size=20, max_size=20),
+)
+def test_auth_frames_with_garbage_always_answered(
+    ordinal, params, handle, nonce, cont, auth
+):
+    trailer = marshal.AuthTrailer(
+        handle=handle, nonce_odd=nonce, continue_session=cont, auth_value=auth
+    )
+    wire = marshal.build_command(ordinal, params, auth=trailer)
+    response = _DEVICE.execute(wire)
+    marshal.parse_response(response)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=64))
+def test_device_state_not_corrupted_by_garbage(garbage):
+    """After arbitrary garbage, a legitimate command still works."""
+    _DEVICE.execute(garbage)
+    wire = marshal.build_command(0x46, (8).to_bytes(4, "big"))  # GetRandom
+    parsed = marshal.parse_response(_DEVICE.execute(wire))
+    assert parsed.return_code == TPM_SUCCESS

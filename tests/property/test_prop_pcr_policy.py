@@ -1,0 +1,114 @@
+"""Property tests: PCR algebra and policy-engine invariants."""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import ANY, CommandClass, PolicyEngine, classify_ordinal
+from repro.tpm.constants import NUM_PCRS
+from repro.tpm.pcr import PcrBank, PcrSelection
+
+digest20 = st.binary(min_size=20, max_size=20)
+pcr_index = st.integers(0, NUM_PCRS - 1)
+
+
+@given(pcr_index, st.lists(digest20, min_size=1, max_size=10))
+def test_pcr_extend_is_fold(index, measurements):
+    """The bank equals the explicit hash fold, whatever the sequence."""
+    bank = PcrBank()
+    expected = b"\x00" * 20
+    for m in measurements:
+        bank.extend(index, m)
+        expected = hashlib.sha1(expected + m).digest()
+    assert bank.read(index) == expected
+
+
+@given(pcr_index, digest20, digest20)
+def test_pcr_extend_not_commutative_unless_equal(index, m1, m2):
+    a, b = PcrBank(), PcrBank()
+    a.extend(index, m1)
+    a.extend(index, m2)
+    b.extend(index, m2)
+    b.extend(index, m1)
+    assert (a.read(index) == b.read(index)) == (m1 == m2)
+
+
+@given(st.sets(pcr_index, min_size=1, max_size=8), st.data())
+def test_composite_only_depends_on_selected(indices, data):
+    bank = PcrBank()
+    selection = PcrSelection(indices)
+    baseline = bank.composite_digest(selection)
+    # Extending any UNselected PCR leaves the composite alone.
+    unselected = [i for i in range(NUM_PCRS) if i not in indices]
+    if unselected:
+        idx = data.draw(st.sampled_from(unselected))
+        bank.extend(idx, b"\x55" * 20)
+        assert bank.composite_digest(selection) == baseline
+    # Extending any selected PCR changes it.
+    idx = data.draw(st.sampled_from(sorted(indices)))
+    bank.extend(idx, b"\x66" * 20)
+    assert bank.composite_digest(selection) != baseline
+
+
+@given(st.sets(pcr_index, max_size=NUM_PCRS))
+def test_selection_roundtrip(indices):
+    from repro.util.bytesio import ByteReader
+
+    selection = PcrSelection(indices)
+    restored = PcrSelection.deserialize(ByteReader(selection.serialize()))
+    assert restored == selection
+    assert restored.indices == sorted(indices)
+
+
+subjects = st.sampled_from(["s1", "s2", "s3", ANY])
+instances = st.sampled_from([1, 2, 3, ANY])
+classes = st.sampled_from([c for c in CommandClass if c is not CommandClass.UNKNOWN])
+ordinals = st.sampled_from(
+    sorted(
+        o for o in range(0x100)
+        if classify_ordinal(o) is not CommandClass.UNKNOWN
+    )
+)
+
+
+@given(st.lists(st.tuples(subjects, instances, classes), max_size=20),
+       st.sampled_from(["s1", "s2", "s3"]), st.sampled_from([1, 2, 3]), ordinals)
+def test_policy_deny_by_default_and_soundness(rules, subject, instance, ordinal):
+    """A decision is allowed iff some installed rule covers it."""
+    engine = PolicyEngine()
+    for rule_subject, rule_instance, rule_class in rules:
+        engine.add_rule(rule_subject, rule_instance, rule_class)
+    decision = engine.decide(subject, instance, ordinal)
+    cls = classify_ordinal(ordinal)
+    covering = [
+        (rs, ri, rc)
+        for rs, ri, rc in rules
+        if rc is cls
+        and rs in (subject, ANY)
+        and ri in (instance, ANY)
+    ]
+    assert decision.allowed == bool(covering)
+
+
+@given(st.lists(st.tuples(subjects, instances, classes), min_size=1, max_size=15))
+def test_policy_revoke_all_restores_default_deny(rules):
+    engine = PolicyEngine()
+    installed = []
+    for rule_subject, rule_instance, rule_class in rules:
+        installed += engine.add_rule(rule_subject, rule_instance, rule_class)
+    for rule in installed:
+        try:
+            engine.revoke_rule(rule.rule_id)
+        except Exception:
+            pass
+    for subject in ("s1", "s2", "s3"):
+        for instance in (1, 2, 3):
+            from repro.tpm.constants import TPM_ORD_PcrRead
+
+            assert not engine.decide(subject, instance, TPM_ORD_PcrRead).allowed
+
+
+@given(st.integers(0, 2**31))
+def test_classification_is_total(ordinal):
+    assert classify_ordinal(ordinal) in CommandClass

@@ -1,0 +1,130 @@
+"""Property tests: authorization protocol and key-hierarchy invariants."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.random_source import RandomSource
+from repro.tpm.client import TpmClient
+from repro.tpm.constants import (
+    TPM_AUTHFAIL,
+    TPM_KEY_SIGNING,
+    TPM_KEY_STORAGE,
+    TPM_KH_SRK,
+)
+from repro.tpm.device import TpmDevice
+from repro.util.errors import TpmError
+
+auth20 = st.binary(min_size=20, max_size=20)
+
+
+def _fresh_owned(seed: bytes, owner: bytes, srk: bytes):
+    rng = RandomSource(seed)
+    device = TpmDevice(rng.fork("d"), key_bits=512)
+    device.power_on()
+    client = TpmClient(device.execute, rng.fork("c"))
+    ek = client.read_pubek()
+    client.take_ownership(owner, srk, ek)
+    return device, client
+
+
+# A single provisioned pair for secret-agnostic protocol properties.
+_DEVICE, _CLIENT = _fresh_owned(b"prop-proto", b"O" * 20, b"S" * 20)
+
+
+@settings(max_examples=30, deadline=None)
+@given(auth20, st.binary(min_size=1, max_size=64))
+def test_seal_unseal_total_over_auths(data_auth, payload):
+    """Whatever data auth the guest picks, seal∘unseal is identity — and
+    any *other* auth fails with TPM_AUTHFAIL."""
+    blob = _CLIENT.seal(TPM_KH_SRK, b"S" * 20, payload, data_auth)
+    assert _CLIENT.unseal(TPM_KH_SRK, b"S" * 20, blob, data_auth) == payload
+    wrong = bytes(b ^ 1 for b in data_auth)
+    with pytest.raises(TpmError) as err:
+        _CLIENT.unseal(TPM_KH_SRK, b"S" * 20, blob, wrong)
+    assert err.value.code == TPM_AUTHFAIL
+
+
+@settings(max_examples=25, deadline=None)
+@given(auth20)
+def test_key_auth_gates_signing(key_auth):
+    blob = _CLIENT.create_wrap_key(
+        TPM_KH_SRK, b"S" * 20, key_auth, TPM_KEY_SIGNING, 512
+    )
+    handle = _CLIENT.load_key2(TPM_KH_SRK, b"S" * 20, blob)
+    digest = hashlib.sha1(key_auth).digest()
+    signature = _CLIENT.sign(handle, key_auth, digest)
+    assert _CLIENT.get_pub_key(handle, key_auth).verify_sha1(digest, signature)
+    wrong = bytes(b ^ 0xFF for b in key_auth)
+    with pytest.raises(TpmError) as err:
+        _CLIENT.sign(handle, wrong, digest)
+    assert err.value.code == TPM_AUTHFAIL
+    _CLIENT.evict_key(handle)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 2**31))
+def test_storage_hierarchy_chains(depth, seed):
+    """A chain of storage keys of any depth wraps and unwraps correctly,
+    and a leaf signing key at the bottom still signs."""
+    rng = RandomSource(seed)
+    parent_handle = TPM_KH_SRK
+    parent_auth = b"S" * 20
+    handles = []
+    for level in range(depth):
+        auth = bytes([level + 1]) * 20
+        blob = _CLIENT.create_wrap_key(
+            parent_handle, parent_auth, auth, TPM_KEY_STORAGE, 512
+        )
+        parent_handle = _CLIENT.load_key2(parent_handle, parent_auth, blob)
+        parent_auth = auth
+        handles.append(parent_handle)
+    leaf_auth = b"\xaa" * 20
+    leaf_blob = _CLIENT.create_wrap_key(
+        parent_handle, parent_auth, leaf_auth, TPM_KEY_SIGNING, 512
+    )
+    leaf = _CLIENT.load_key2(parent_handle, parent_auth, leaf_blob)
+    digest = hashlib.sha1(rng.bytes(8)).digest()
+    signature = _CLIENT.sign(leaf, leaf_auth, digest)
+    assert _CLIENT.get_pub_key(leaf, leaf_auth).verify_sha1(digest, signature)
+    for handle in [leaf] + handles[::-1]:
+        _CLIENT.evict_key(handle)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["oiap", "use", "drop"]), max_size=12))
+def test_session_lifecycle_never_wedges(script):
+    """Arbitrary open/use/drop session interleavings leave the device able
+    to serve a fresh authorized command."""
+    live = []
+    for action in script:
+        if action == "oiap":
+            try:
+                live.append(_CLIENT.oiap())
+            except TpmError:
+                pass  # table full is legal
+        elif action == "use" and live:
+            # Use-and-discard via a PCR read with auth (open NV-free path):
+            session = live.pop()
+            _CLIENT.flush_session(session)
+        elif action == "drop" and live:
+            live.pop()  # leak it (client forgets; device still holds it)
+    # The device must still serve a full authorized flow.
+    blob = _CLIENT.seal(TPM_KH_SRK, b"S" * 20, b"x", b"D" * 20)
+    assert _CLIENT.unseal(TPM_KH_SRK, b"S" * 20, blob, b"D" * 20) == b"x"
+    # Clean up leaked sessions so later examples have room.
+    _DEVICE.state.sessions.flush_all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(auth20, auth20)
+def test_ownership_lifecycle_total(owner, srk):
+    """Take-ownership works with any auth pair, then OwnerClear resets."""
+    device, client = _fresh_owned(owner + srk, owner, srk)
+    assert device.state.flags.owned
+    blob = client.seal(TPM_KH_SRK, srk, b"data", b"D" * 20)
+    assert client.unseal(TPM_KH_SRK, srk, blob, b"D" * 20) == b"data"
+    client.owner_clear(owner)
+    assert not device.state.flags.owned

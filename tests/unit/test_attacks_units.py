@@ -1,0 +1,120 @@
+"""Unit-level tests for attack toolkit internals and report plumbing."""
+
+import pytest
+
+from repro.attacks.memdump import MIN_SECRET_LEN, secrets_found
+from repro.attacks.scenarios import AttackOutcome, AttackReport, matrix_rows
+from repro.core.config import AccessMode
+
+
+class TestSecretScanner:
+    def test_finds_embedded_secret(self):
+        secret = b"S" * 32
+        image = b"\x00" * 100 + secret + b"\xff" * 100
+        assert secrets_found(image, [secret]) == [secret]
+
+    def test_ignores_short_strings(self):
+        short = b"tiny"
+        image = b"prefix" + short + b"suffix"
+        assert len(short) < MIN_SECRET_LEN
+        assert secrets_found(image, [short]) == []
+
+    def test_partial_match_is_no_match(self):
+        secret = b"A" * 32
+        image = secret[:-1]  # one byte short
+        assert secrets_found(image, [secret]) == []
+
+    def test_multiple_hits_reported(self):
+        a, b, c = b"A" * 20, b"B" * 20, b"C" * 20
+        image = a + b
+        assert secrets_found(image, [a, b, c]) == [a, b]
+
+    def test_empty_inputs(self):
+        assert secrets_found(b"", [b"X" * 20]) == []
+        assert secrets_found(b"data", []) == []
+
+
+class TestReports:
+    def _report(self, attack, mode, outcome):
+        return AttackReport(
+            attack=attack, description="d", mode=mode,
+            outcome=outcome, detail="detail",
+        )
+
+    def test_succeeded_property(self):
+        ok = self._report("a", AccessMode.BASELINE, AttackOutcome.SUCCEEDED)
+        blocked = self._report("a", AccessMode.IMPROVED, AttackOutcome.BLOCKED)
+        assert ok.succeeded and not blocked.succeeded
+
+    def test_matrix_rows_pairs_by_name(self):
+        baseline = [
+            self._report("x", AccessMode.BASELINE, AttackOutcome.SUCCEEDED),
+            self._report("y", AccessMode.BASELINE, AttackOutcome.BLOCKED),
+        ]
+        improved = [
+            self._report("x", AccessMode.IMPROVED, AttackOutcome.BLOCKED),
+        ]
+        rows = dict(
+            (name, (b, i)) for name, b, i in matrix_rows(baseline, improved)
+        )
+        assert rows["x"] == ("succeeded", "blocked")
+        assert rows["y"] == ("blocked", "?")
+
+
+class TestExperimentRenders:
+    """Every result type renders without error and mentions its title."""
+
+    def test_all_render_titles(self):
+        from repro.harness.experiments import (
+            AblationResult,
+            AttackMatrixResult,
+            CreationLatencyResult,
+            MigrationResult,
+            PolicyScalingResult,
+            RecoveryResult,
+            ThroughputPoint,
+            ThroughputScalingResult,
+            WebAppBenchResult,
+        )
+
+        checks = [
+            (AttackMatrixResult(rows=[("a", "succeeded", "blocked")],
+                                details=[]), "Table 2"),
+            (CreationLatencyResult(points=[(0, "baseline", 1.0),
+                                           (0, "improved", 1.1)]), "Figure 2"),
+            (MigrationResult(points=[(1.0, "baseline", 2.0),
+                                     (1.0, "improved", 3.0)]), "Figure 3"),
+            (PolicyScalingResult(rows=[(10, 0.5, 0.6)]), "Table 3"),
+            (WebAppBenchResult(rows=[("no-vtpm", 100.0, 0.0)]), "Figure 4"),
+            (AblationResult(rows=[("all-off", 1.0, 0.0)],
+                            breakdown={"ac.audit.append": 1.0}), "Table 4"),
+            (RecoveryResult(points=[(1, "baseline", 5.0),
+                                    (1, "improved", 5.1)]), "Figure 6"),
+            (ThroughputScalingResult(points=[
+                ThroughputPoint(vms=1, mode="baseline", ops=10, elapsed_us=1e6),
+                ThroughputPoint(vms=1, mode="improved", ops=10, elapsed_us=1.1e6),
+            ]), "Figure 1"),
+        ]
+        for result, expected in checks:
+            assert expected in result.render()
+
+    def test_throughput_point_math(self):
+        from repro.harness.experiments import ThroughputPoint
+
+        point = ThroughputPoint(vms=2, mode="baseline", ops=500, elapsed_us=5e5)
+        assert point.ops_per_sec == pytest.approx(1000.0)
+        zero = ThroughputPoint(vms=1, mode="baseline", ops=0, elapsed_us=0.0)
+        assert zero.ops_per_sec == 0.0
+
+    def test_loadtest_render(self):
+        from repro.harness.loadtest import LatencyLoadResult, LoadPoint
+        from repro.metrics.stats import summarize
+
+        result = LatencyLoadResult(points=[
+            LoadPoint(mode="baseline", offered_per_sec=100.0, completed=5,
+                      latency=summarize([1.0, 2.0])),
+            LoadPoint(mode="improved", offered_per_sec=100.0, completed=5,
+                      latency=summarize([1.5, 2.5])),
+        ])
+        assert "Figure 5" in result.render()
+        assert result.rows()[0][0] == 100.0

@@ -1,0 +1,106 @@
+"""Unit tests for the big-endian byte reader/writer."""
+
+import pytest
+
+from repro.util.bytesio import ByteReader, ByteWriter
+from repro.util.errors import MarshalError
+
+
+class TestByteWriter:
+    def test_u8_roundtrip_bounds(self):
+        w = ByteWriter()
+        w.u8(0).u8(255)
+        assert w.getvalue() == b"\x00\xff"
+
+    def test_u8_rejects_out_of_range(self):
+        with pytest.raises(MarshalError):
+            ByteWriter().u8(256)
+        with pytest.raises(MarshalError):
+            ByteWriter().u8(-1)
+
+    def test_u16_big_endian(self):
+        assert ByteWriter().u16(0x1234).getvalue() == b"\x12\x34"
+
+    def test_u32_big_endian(self):
+        assert ByteWriter().u32(0xDEADBEEF).getvalue() == b"\xde\xad\xbe\xef"
+
+    def test_u64_big_endian(self):
+        assert (
+            ByteWriter().u64(0x0102030405060708).getvalue()
+            == bytes(range(1, 9))
+        )
+
+    def test_u16_rejects_out_of_range(self):
+        with pytest.raises(MarshalError):
+            ByteWriter().u16(1 << 16)
+
+    def test_u32_rejects_out_of_range(self):
+        with pytest.raises(MarshalError):
+            ByteWriter().u32(1 << 32)
+
+    def test_sized_prefixes_length(self):
+        out = ByteWriter().sized(b"abc").getvalue()
+        assert out == b"\x00\x00\x00\x03abc"
+
+    def test_sized_empty(self):
+        assert ByteWriter().sized(b"").getvalue() == b"\x00\x00\x00\x00"
+
+    def test_len_tracks_bytes(self):
+        w = ByteWriter()
+        w.u32(1)
+        w.raw(b"xyz")
+        assert len(w) == 7
+
+    def test_chaining(self):
+        out = ByteWriter().u8(1).u16(2).u32(3).getvalue()
+        assert out == b"\x01\x00\x02\x00\x00\x00\x03"
+
+
+class TestByteReader:
+    def test_reads_fields_in_order(self):
+        r = ByteReader(b"\x01\x00\x02\x00\x00\x00\x03")
+        assert r.u8() == 1
+        assert r.u16() == 2
+        assert r.u32() == 3
+        r.expect_end()
+
+    def test_short_read_raises(self):
+        r = ByteReader(b"\x01")
+        with pytest.raises(MarshalError, match="short read"):
+            r.u32()
+
+    def test_expect_end_rejects_trailing(self):
+        r = ByteReader(b"\x01\x02")
+        r.u8()
+        with pytest.raises(MarshalError, match="trailing"):
+            r.expect_end()
+
+    def test_sized_roundtrip(self):
+        blob = ByteWriter().sized(b"hello world").getvalue()
+        assert ByteReader(blob).sized() == b"hello world"
+
+    def test_sized_cap_enforced(self):
+        blob = ByteWriter().sized(b"x" * 100).getvalue()
+        with pytest.raises(MarshalError, match="exceeds cap"):
+            ByteReader(blob).sized(max_size=10)
+
+    def test_rest_consumes_remaining(self):
+        r = ByteReader(b"\x01rest-of-data")
+        r.u8()
+        assert r.rest() == b"rest-of-data"
+        assert r.remaining() == 0
+
+    def test_position_tracking(self):
+        r = ByteReader(b"\x00" * 10)
+        assert r.position == 0
+        r.u32()
+        assert r.position == 4
+        assert r.remaining() == 6
+
+    def test_negative_raw_read_rejected(self):
+        with pytest.raises(MarshalError):
+            ByteReader(b"abc").raw(-1)
+
+    def test_u64_roundtrip(self):
+        blob = ByteWriter().u64(2**63 + 5).getvalue()
+        assert ByteReader(blob).u64() == 2**63 + 5

@@ -1,0 +1,139 @@
+"""Unit tests: TPM_CertifyKey and policy-engine persistence."""
+
+import hashlib
+
+import pytest
+
+from repro.core.policy import ANY, CommandClass, PolicyEngine
+from repro.tpm.constants import (
+    TPM_AUTHFAIL,
+    TPM_INVALID_KEYUSAGE,
+    TPM_KEY_BIND,
+    TPM_KEY_SIGNING,
+    TPM_KEY_STORAGE,
+    TPM_KH_SRK,
+    TPM_ORD_CertifyKey,
+    TPM_ORD_PcrRead,
+)
+from repro.tpm.structures import CertifyInfo
+from repro.util.errors import TpmError
+
+from tests.conftest import OWNER, SRK
+
+AIK_AUTH = b"A" * 20
+KEY_AUTH = b"K" * 20
+
+
+@pytest.fixture
+def aik(owned_client):
+    blob, _ = owned_client.make_identity(OWNER, AIK_AUTH, b"test-aik")
+    return owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+
+
+@pytest.fixture
+def bind_key(owned_client):
+    blob = owned_client.create_wrap_key(
+        TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_BIND, 512
+    )
+    return owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+
+
+class TestCertifyKey:
+    def test_certificate_verifies(self, owned_client, aik, bind_key):
+        info_bytes, signature = owned_client.certify_key(
+            aik, AIK_AUTH, bind_key, KEY_AUTH, b"\x21" * 20
+        )
+        aik_pub = owned_client.get_pub_key(aik, AIK_AUTH)
+        assert aik_pub.verify_sha1(hashlib.sha1(info_bytes).digest(), signature)
+        info = CertifyInfo.deserialize(info_bytes)
+        target_pub = owned_client.get_pub_key(bind_key, KEY_AUTH)
+        assert info.public.n == target_pub.n
+        assert info.key_usage == TPM_KEY_BIND
+        assert info.anti_replay == b"\x21" * 20
+        assert not info.pcr_bound
+
+    def test_pcr_bound_key_flagged(self, owned_client, aik, tpm_device):
+        from repro.tpm.pcr import PcrSelection
+
+        selection = PcrSelection([3])
+        digest = tpm_device.state.pcrs.composite_digest(selection)
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512,
+            pcr_selection=selection, digest_at_release=digest,
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        info_bytes, _sig = owned_client.certify_key(
+            aik, AIK_AUTH, handle, KEY_AUTH, b"\x00" * 20
+        )
+        info = CertifyInfo.deserialize(info_bytes)
+        assert info.pcr_bound
+        assert info.digest_at_release == digest
+
+    def test_wrong_target_auth_rejected(self, owned_client, aik, bind_key):
+        with pytest.raises(TpmError) as err:
+            owned_client.certify_key(aik, AIK_AUTH, bind_key, b"X" * 20,
+                                     b"\x00" * 20)
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_nonsigning_certifier_rejected(self, owned_client, bind_key):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_STORAGE, 512
+        )
+        storage = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        with pytest.raises(TpmError) as err:
+            owned_client.certify_key(storage, KEY_AUTH, bind_key, KEY_AUTH,
+                                     b"\x00" * 20)
+        assert err.value.code == TPM_INVALID_KEYUSAGE
+
+    def test_anti_replay_binds_signature(self, owned_client, aik, bind_key):
+        info1, sig1 = owned_client.certify_key(
+            aik, AIK_AUTH, bind_key, KEY_AUTH, b"\x01" * 20
+        )
+        info2, _sig2 = owned_client.certify_key(
+            aik, AIK_AUTH, bind_key, KEY_AUTH, b"\x02" * 20
+        )
+        aik_pub = owned_client.get_pub_key(aik, AIK_AUTH)
+        # sig1 does not cover info2.
+        assert not aik_pub.verify_sha1(hashlib.sha1(info2).digest(), sig1)
+
+    def test_classified_for_policy(self):
+        from repro.core.policy import classify_ordinal
+
+        assert classify_ordinal(TPM_ORD_CertifyKey) is CommandClass.USE_KEY
+
+
+class TestPolicyPersistence:
+    def test_roundtrip_preserves_decisions(self):
+        engine = PolicyEngine()
+        engine.grant_owner("aa" * 32, 1)
+        engine.add_rule(ANY, 2, CommandClass.READ)
+        engine.add_rule("bb" * 32, ANY, CommandClass.MEASURE)
+        restored = PolicyEngine.deserialize(engine.serialize())
+        assert restored.rule_count == engine.rule_count
+        probes = [
+            ("aa" * 32, 1, TPM_ORD_PcrRead),
+            ("cc" * 32, 2, TPM_ORD_PcrRead),
+            ("bb" * 32, 9, 0x14),  # Extend
+            ("cc" * 32, 9, 0x14),
+        ]
+        for subject, instance, ordinal in probes:
+            assert (
+                restored.decide(subject, instance, ordinal).allowed
+                == engine.decide(subject, instance, ordinal).allowed
+            )
+
+    def test_empty_policy_roundtrip(self):
+        restored = PolicyEngine.deserialize(PolicyEngine().serialize())
+        assert restored.rule_count == 0
+
+    def test_garbage_rejected(self):
+        from repro.util.errors import MarshalError
+
+        with pytest.raises(MarshalError):
+            PolicyEngine.deserialize(b"not a policy at all")
+
+    def test_serialization_stable(self):
+        engine = PolicyEngine()
+        engine.grant_owner("dd" * 32, 7)
+        blob = engine.serialize()
+        assert PolicyEngine.deserialize(blob).serialize() == blob

@@ -1,0 +1,64 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.mode == "improved"
+        assert args.seed == 2010
+
+    def test_experiment_quick_flag(self):
+        args = build_parser().parse_args(["experiment", "table1", "--quick"])
+        assert args.id == "table1"
+        assert args.quick
+
+    def test_trace_options(self):
+        args = build_parser().parse_args(
+            ["trace", "--guests", "7", "--mix", "attestation"]
+        )
+        assert args.guests == 7
+        assert args.mix == "attestation"
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--mode", "baseline", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "vTPM provisioned" in out
+        assert "unsealed" in out
+
+    def test_demo_improved(self, capsys):
+        assert main(["demo", "--mode", "improved"]) == 0
+        assert "[improved]" in capsys.readouterr().out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_table3_quick(self, capsys):
+        assert main(["experiment", "table3", "--quick"]) == 0
+        assert "policy decision latency" in capsys.readouterr().out
+
+    def test_trace_emits_loadable_trace(self, capsys):
+        assert main(
+            ["trace", "--guests", "2", "--rate", "30", "--duration", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        from repro.workloads.traces import SyntheticTrace
+
+        trace = SyntheticTrace.loads(out)
+        assert trace.guests == 2
+
+    def test_attack_matrix_single_mode(self, capsys):
+        assert main(["attack-matrix", "--mode", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "mem-dump-manager" in out
+        assert "succeeded" in out

@@ -1,0 +1,67 @@
+"""Unit tests for the watch-driven hotplug agent."""
+
+import pytest
+
+from repro.vtpm.frontend import VtpmFrontend
+from repro.vtpm.hotplug import VtpmHotplugAgent
+
+
+class TestHotplugAgent:
+    def test_unregistered_frontend_not_connected(self, baseline_platform):
+        platform = baseline_platform
+        agent = VtpmHotplugAgent(platform.xen, platform.manager)
+        guest = platform.xen.create_domain("lonely", b"k")
+        VtpmFrontend(platform.xen, guest, 0)  # publishes nodes, no register
+        assert agent.connects == 0
+        assert agent.backend_for(guest.domid) is None
+
+    def test_register_after_publication_connects(self, baseline_platform):
+        platform = baseline_platform
+        agent = VtpmHotplugAgent(platform.xen, platform.manager)
+        guest = platform.xen.create_domain("late", b"k")
+        frontend = VtpmFrontend(platform.xen, guest, 0)
+        agent.register_frontend(frontend)
+        assert agent.connects == 1
+        assert agent.backend_for(guest.domid) is not None
+        assert frontend.connected
+
+    def test_connect_is_idempotent(self, baseline_platform):
+        platform = baseline_platform
+        agent = VtpmHotplugAgent(platform.xen, platform.manager)
+        guest = platform.xen.create_domain("once", b"k")
+        frontend = VtpmFrontend(platform.xen, guest, 0)
+        agent.register_frontend(frontend)
+        agent.register_frontend(frontend)  # double registration
+        assert agent.connects == 1
+        assert platform.manager.instance_count == 1
+
+    def test_disconnect_unknown_domain_is_noop(self, baseline_platform):
+        platform = baseline_platform
+        agent = VtpmHotplugAgent(platform.xen, platform.manager)
+        platform.xen.store.write(
+            0, "/local/domain/55/device/vtpm/0/state", "6", privileged=True
+        )
+        assert agent.disconnects == 0
+
+    def test_reuses_existing_instance_for_vm(self, baseline_platform):
+        """A reconnecting front-end (driver reload) gets its old instance."""
+        platform = baseline_platform
+        agent = VtpmHotplugAgent(platform.xen, platform.manager)
+        guest = platform.xen.create_domain("reload", b"k")
+        instance = platform.manager.create_instance(guest)
+        frontend = VtpmFrontend(platform.xen, guest, 0)
+        agent.register_frontend(frontend)
+        assert agent.backend_for(guest.domid).instance_id == instance.instance_id
+        assert platform.manager.instance_count == 1
+
+    def test_state_four_does_not_retrigger(self, baseline_platform):
+        platform = baseline_platform
+        agent = VtpmHotplugAgent(platform.xen, platform.manager)
+        guest = platform.xen.create_domain("steady", b"k")
+        frontend = VtpmFrontend(platform.xen, guest, 0)
+        agent.register_frontend(frontend)
+        # mark_connected already wrote state=4 during connect; poke again:
+        platform.xen.store.write(
+            0, f"{frontend.device_path}/state", "4", privileged=True
+        )
+        assert agent.connects == 1

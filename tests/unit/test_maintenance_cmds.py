@@ -1,0 +1,181 @@
+"""Unit tests: ChangeAuth, key migration ordinals, DIR, locality frontends."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.random_source import RandomSource
+from repro.tpm.client import TpmClient
+from repro.tpm.constants import (
+    TPM_AUTHFAIL,
+    TPM_BAD_MIGRATION,
+    TPM_DECRYPT_ERROR,
+    TPM_KEY_SIGNING,
+    TPM_KH_SRK,
+)
+from repro.tpm.device import TpmDevice
+from repro.util.errors import TpmError
+
+from tests.conftest import OWNER, SRK
+
+KEY_AUTH = b"K" * 20
+NEW_AUTH = b"W" * 20
+MIG_AUTH = b"M" * 20
+
+
+@pytest.fixture
+def signing_blob(owned_client):
+    return owned_client.create_wrap_key(
+        TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512,
+        migration_auth=MIG_AUTH,
+    )
+
+
+class TestChangeAuth:
+    def test_new_auth_works_old_does_not(self, owned_client, signing_blob):
+        new_blob = owned_client.change_auth(
+            TPM_KH_SRK, SRK, signing_blob, KEY_AUTH, NEW_AUTH
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, new_blob)
+        digest = hashlib.sha1(b"m").digest()
+        signature = owned_client.sign(handle, NEW_AUTH, digest)
+        assert owned_client.get_pub_key(handle, NEW_AUTH).verify_sha1(
+            digest, signature
+        )
+        with pytest.raises(TpmError) as err:
+            owned_client.sign(handle, KEY_AUTH, digest)
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_wrong_old_auth_rejected(self, owned_client, signing_blob):
+        with pytest.raises(TpmError) as err:
+            owned_client.change_auth(
+                TPM_KH_SRK, SRK, signing_blob, b"Z" * 20, NEW_AUTH
+            )
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_same_key_material_preserved(self, owned_client, signing_blob):
+        handle_old = owned_client.load_key2(TPM_KH_SRK, SRK, signing_blob)
+        pub_old = owned_client.get_pub_key(handle_old, KEY_AUTH)
+        new_blob = owned_client.change_auth(
+            TPM_KH_SRK, SRK, signing_blob, KEY_AUTH, NEW_AUTH
+        )
+        handle_new = owned_client.load_key2(TPM_KH_SRK, SRK, new_blob)
+        assert owned_client.get_pub_key(handle_new, NEW_AUTH).n == pub_old.n
+
+
+class TestKeyMigration:
+    @pytest.fixture
+    def destination(self, rng):
+        device = TpmDevice(rng.fork("dst"), key_bits=512)
+        device.power_on()
+        client = TpmClient(device.execute, rng.fork("dstc"))
+        ek = client.read_pubek()
+        client.take_ownership(OWNER, SRK, ek)
+        srk_pub = device.state.keys.srk.keypair.public
+        return device, client, srk_pub
+
+    def test_full_migration_roundtrip(self, owned_client, signing_blob, destination):
+        _dst_dev, dst_client, dst_srk_pub = destination
+        package = owned_client.create_migration_blob(
+            TPM_KH_SRK, SRK, signing_blob, MIG_AUTH, dst_srk_pub
+        )
+        new_blob = dst_client.convert_migration_blob(TPM_KH_SRK, SRK, package)
+        handle = dst_client.load_key2(TPM_KH_SRK, SRK, new_blob)
+        digest = hashlib.sha1(b"migrated").digest()
+        signature = dst_client.sign(handle, KEY_AUTH, digest)
+        # Same key pair now lives on the destination.
+        src_handle = owned_client.load_key2(TPM_KH_SRK, SRK, signing_blob)
+        src_pub = owned_client.get_pub_key(src_handle, KEY_AUTH)
+        assert src_pub.verify_sha1(digest, signature)
+
+    def test_wrong_migration_auth_rejected(self, owned_client, signing_blob,
+                                           destination):
+        _d, _c, dst_srk_pub = destination
+        with pytest.raises(TpmError) as err:
+            owned_client.create_migration_blob(
+                TPM_KH_SRK, SRK, signing_blob, b"Z" * 20, dst_srk_pub
+            )
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_nonmigratable_key_refused(self, owned_client, destination):
+        _d, _c, dst_srk_pub = destination
+        aik_blob, _ = owned_client.make_identity(OWNER, KEY_AUTH, b"aik")
+        # AIK migration_auth is tpmProof: whatever auth the caller guesses,
+        # the TPM must refuse on the non-migratable check first.
+        with pytest.raises(TpmError) as err:
+            owned_client.create_migration_blob(
+                TPM_KH_SRK, SRK, aik_blob, b"?" * 20, dst_srk_pub
+            )
+        assert err.value.code in (TPM_BAD_MIGRATION, TPM_AUTHFAIL)
+
+    def test_package_bound_to_destination(self, owned_client, signing_blob,
+                                          destination, rng):
+        """A third TPM cannot convert a package made for the destination."""
+        _d, _c, dst_srk_pub = destination
+        package = owned_client.create_migration_blob(
+            TPM_KH_SRK, SRK, signing_blob, MIG_AUTH, dst_srk_pub
+        )
+        third = TpmDevice(rng.fork("third"), key_bits=512)
+        third.power_on()
+        third_client = TpmClient(third.execute, rng.fork("thirdc"))
+        ek = third_client.read_pubek()
+        third_client.take_ownership(OWNER, SRK, ek)
+        with pytest.raises(TpmError) as err:
+            third_client.convert_migration_blob(TPM_KH_SRK, SRK, package)
+        assert err.value.code == TPM_DECRYPT_ERROR
+
+
+class TestDirAndTestResult:
+    def test_dir_write_read(self, owned_client):
+        value = hashlib.sha1(b"integrity").digest()
+        owned_client.dir_write(OWNER, value)
+        assert owned_client.dir_read() == value
+
+    def test_dir_requires_owner_auth(self, owned_client):
+        with pytest.raises(TpmError) as err:
+            owned_client.dir_write(b"Z" * 20, b"\x00" * 20)
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_dir_survives_state_roundtrip(self, owned_client, tpm_device):
+        value = hashlib.sha1(b"persisted").digest()
+        owned_client.dir_write(OWNER, value)
+        restored = TpmDevice.from_state_blob(tpm_device.save_state_blob())
+        assert restored.state.dir_register == value
+
+    def test_only_dir_zero(self, owned_client):
+        with pytest.raises(TpmError):
+            owned_client.dir_read(index=1)
+
+    def test_get_test_result(self, tpm_client):
+        assert tpm_client.get_test_result() == b"\x00\x00"
+
+
+class TestLocalityFrontend:
+    def test_high_locality_frontend_can_reset_drtm_pcrs(self, baseline_platform):
+        from repro.tpm.client import TpmClient
+        from repro.vtpm.backend import VtpmBackend
+        from repro.vtpm.frontend import VtpmFrontend
+
+        platform = baseline_platform
+        guest = platform.xen.create_domain("drtm-guest", b"tboot-kernel")
+        instance = platform.manager.create_instance(guest)
+        frontend = VtpmFrontend(platform.xen, guest, 0, locality=2)
+        VtpmBackend(platform.xen, platform.manager, frontend, instance.instance_id)
+        client = TpmClient(frontend.transport, platform.rng.fork("drtm"))
+        client.extend(17, b"\x17" * 20)
+        client.pcr_reset([17])
+        assert client.pcr_read(17) == b"\x00" * 20
+
+    def test_default_locality_cannot_reset(self, baseline_platform):
+        guest = baseline_platform.add_guest("normal")
+        guest.client.extend(17, b"\x17" * 20)
+        with pytest.raises(TpmError):
+            guest.client.pcr_reset([17])
+
+    def test_invalid_locality_rejected(self, baseline_platform):
+        from repro.util.errors import VtpmError
+        from repro.vtpm.frontend import VtpmFrontend
+
+        guest = baseline_platform.xen.create_domain("bad-loc", b"k")
+        with pytest.raises(VtpmError):
+            VtpmFrontend(baseline_platform.xen, guest, 0, locality=7)

@@ -1,0 +1,168 @@
+"""Unit tests for vTPM live migration (both protocols)."""
+
+import pytest
+
+from repro.core.config import AccessMode
+from repro.harness.builder import build_platform
+from repro.util.errors import MigrationError, VtpmError
+
+
+@pytest.fixture
+def pair_baseline():
+    return (
+        build_platform(AccessMode.BASELINE, seed=51, name="src-b"),
+        build_platform(AccessMode.BASELINE, seed=52, name="dst-b"),
+    )
+
+
+@pytest.fixture
+def pair_improved():
+    return (
+        build_platform(AccessMode.IMPROVED, seed=51, name="src-i"),
+        build_platform(AccessMode.IMPROVED, seed=52, name="dst-i"),
+    )
+
+
+def _target_vm(destination, guest):
+    return destination.xen.create_domain(
+        guest.domain.name,
+        kernel_image=guest.domain.kernel_image,
+        config=dict(guest.domain.config),
+    )
+
+
+class TestPlaintextMigration:
+    def test_state_moves(self, pair_baseline):
+        source, destination = pair_baseline
+        guest = source.add_guest("mover")
+        guest.client.extend(6, b"\x66" * 20)
+        expected = guest.client.pcr_read(6)
+        target_vm = _target_vm(destination, guest)
+        package = source.migration.export_plaintext(guest.domain.uuid)
+        instance = destination.migration.import_plaintext(package, target_vm)
+        from repro.tpm.client import TpmClient
+
+        client = TpmClient(
+            lambda wire: destination.manager.handle_command(
+                target_vm.domid, instance.instance_id, wire
+            ),
+            destination.rng.fork("mc"),
+        )
+        assert client.pcr_read(6) == expected
+
+    def test_source_instance_destroyed(self, pair_baseline):
+        source, _destination = pair_baseline
+        guest = source.add_guest("mover")
+        source.migration.export_plaintext(guest.domain.uuid)
+        with pytest.raises(VtpmError):
+            source.manager.instance_for_vm(guest.domain.uuid)
+
+    def test_payload_contains_cleartext(self, pair_baseline):
+        source, _ = pair_baseline
+        guest = source.add_guest("mover")
+        secrets = source.manager.instance(
+            guest.instance_id
+        ).device.state.secret_material()
+        package = source.migration.export_plaintext(guest.domain.uuid)
+        assert any(s in package.payload for s in secrets)
+
+    def test_wrong_magic_rejected(self, pair_baseline):
+        _source, destination = pair_baseline
+        from repro.vtpm.migration import MigrationPackage
+
+        vm = destination.xen.create_domain("t", b"k")
+        with pytest.raises(MigrationError):
+            destination.migration.import_plaintext(
+                MigrationPackage(payload=b"XXXXXXXX" + b"\x00" * 32), vm
+            )
+
+
+class TestSealedMigration:
+    def test_state_moves_encrypted(self, pair_improved):
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        guest.client.extend(6, b"\x66" * 20)
+        expected = guest.client.pcr_read(6)
+        secrets = source.manager.instance(
+            guest.instance_id
+        ).device.state.secret_material()
+        target_vm = _target_vm(destination, guest)
+        offer = destination.migration.prepare_target()
+        package = source.migration.export_sealed(guest.domain.uuid, offer)
+        assert not any(s in package.payload for s in secrets if len(s) >= 16)
+        instance = destination.migration.import_sealed(package, target_vm)
+        from repro.tpm.client import TpmClient
+
+        client = TpmClient(
+            lambda wire: destination.manager.handle_command(
+                target_vm.domid, instance.instance_id, wire
+            ),
+            destination.rng.fork("mc"),
+        )
+        assert client.pcr_read(6) == expected
+
+    def test_offer_is_single_use(self, pair_improved):
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        target_vm = _target_vm(destination, guest)
+        offer = destination.migration.prepare_target()
+        package = source.migration.export_sealed(guest.domain.uuid, offer)
+        destination.migration.import_sealed(package, target_vm)
+        replay_vm = destination.xen.create_domain(
+            "replayed", kernel_image=guest.domain.kernel_image,
+            config=dict(guest.domain.config),
+        )
+        with pytest.raises(MigrationError):
+            destination.migration.import_sealed(package, replay_vm)
+
+    def test_package_bound_to_offer(self, pair_improved):
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        target_vm = _target_vm(destination, guest)
+        offer = destination.migration.prepare_target()
+        stale_offer = destination.migration.prepare_target()
+        package = source.migration.export_sealed(guest.domain.uuid, offer)
+        # Import consumes the matching offer only; tamper the offer id.
+        import struct
+
+        hacked = bytearray(package.payload)
+        hacked[8:12] = struct.pack(">I", stale_offer.offer_id)
+        from repro.vtpm.migration import MigrationPackage
+
+        with pytest.raises(MigrationError, match="nonce"):
+            destination.migration.import_sealed(
+                MigrationPackage(payload=bytes(hacked)), target_vm
+            )
+
+    def test_identity_continuity_enforced(self, pair_improved):
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        offer = destination.migration.prepare_target()
+        package = source.migration.export_sealed(guest.domain.uuid, offer)
+        imposter = destination.xen.create_domain(
+            "imposter", kernel_image=b"different-kernel"
+        )
+        with pytest.raises(MigrationError, match="identity"):
+            destination.migration.import_sealed(package, imposter)
+
+    def test_wrong_destination_cannot_import(self, pair_improved):
+        """A package sealed for host B is useless to host C."""
+        source, destination = pair_improved
+        host_c = build_platform(AccessMode.IMPROVED, seed=77, name="host-c")
+        guest = source.add_guest("mover")
+        offer_b = destination.migration.prepare_target()
+        package = source.migration.export_sealed(guest.domain.uuid, offer_b)
+        vm_on_c = host_c.xen.create_domain(
+            guest.domain.name, kernel_image=guest.domain.kernel_image,
+            config=dict(guest.domain.config),
+        )
+        with pytest.raises(MigrationError):
+            host_c.migration.import_sealed(package, vm_on_c)
+
+    def test_requires_hw_client(self, pair_improved):
+        source, _ = pair_improved
+        from repro.vtpm.migration import MigrationEndpoint
+
+        endpoint = MigrationEndpoint(source.manager, source.rng.fork("x"))
+        with pytest.raises(MigrationError, match="hardware TPM"):
+            endpoint.prepare_target()

@@ -1,0 +1,143 @@
+"""Unit tests for the PCR bank and selections."""
+
+import hashlib
+
+import pytest
+
+from repro.tpm.constants import DIGEST_SIZE, NUM_PCRS
+from repro.tpm.pcr import PcrBank, PcrSelection
+from repro.util.bytesio import ByteReader
+from repro.util.errors import TpmError
+
+ZERO = b"\x00" * DIGEST_SIZE
+M1 = b"\x11" * DIGEST_SIZE
+M2 = b"\x22" * DIGEST_SIZE
+
+
+class TestPcrBank:
+    def test_starts_zeroed(self):
+        bank = PcrBank()
+        for i in range(NUM_PCRS):
+            assert bank.read(i) == ZERO
+
+    def test_extend_formula(self):
+        bank = PcrBank()
+        new = bank.extend(3, M1)
+        assert new == hashlib.sha1(ZERO + M1).digest()
+        assert bank.read(3) == new
+
+    def test_extend_is_order_sensitive(self):
+        a, b = PcrBank(), PcrBank()
+        a.extend(0, M1)
+        a.extend(0, M2)
+        b.extend(0, M2)
+        b.extend(0, M1)
+        assert a.read(0) != b.read(0)
+
+    def test_extend_rejects_bad_index(self):
+        with pytest.raises(TpmError):
+            PcrBank().extend(NUM_PCRS, M1)
+        with pytest.raises(TpmError):
+            PcrBank().extend(-1, M1)
+
+    def test_extend_rejects_bad_length(self):
+        with pytest.raises(TpmError):
+            PcrBank().extend(0, b"short")
+
+    def test_reset_requires_resettable_range(self):
+        bank = PcrBank()
+        bank.extend(5, M1)
+        with pytest.raises(TpmError):
+            bank.reset(5, locality=4)
+
+    def test_reset_requires_locality(self):
+        bank = PcrBank()
+        bank.extend(17, M1)
+        with pytest.raises(TpmError):
+            bank.reset(17, locality=1)
+        bank.reset(17, locality=2)
+        assert bank.read(17) == ZERO
+
+    def test_startup_clear_zeroes_all(self):
+        bank = PcrBank()
+        bank.extend(0, M1)
+        bank.extend(23, M2)
+        bank.startup_clear()
+        assert bank.read(0) == ZERO and bank.read(23) == ZERO
+
+    def test_snapshot_restore_roundtrip(self):
+        bank = PcrBank()
+        bank.extend(7, M1)
+        snap = bank.snapshot()
+        other = PcrBank()
+        other.restore(snap)
+        assert other.read(7) == bank.read(7)
+
+    def test_restore_validates_count(self):
+        with pytest.raises(TpmError):
+            PcrBank().restore([ZERO] * 5)
+
+    def test_restore_validates_length(self):
+        with pytest.raises(TpmError):
+            PcrBank().restore([b"x"] * NUM_PCRS)
+
+    def test_snapshot_is_a_copy(self):
+        bank = PcrBank()
+        snap = bank.snapshot()
+        bank.extend(0, M1)
+        assert snap[0] == ZERO
+
+
+class TestComposite:
+    def test_composite_depends_on_values(self):
+        bank = PcrBank()
+        sel = PcrSelection([1, 2])
+        before = bank.composite_digest(sel)
+        bank.extend(1, M1)
+        assert bank.composite_digest(sel) != before
+
+    def test_composite_ignores_unselected(self):
+        bank = PcrBank()
+        sel = PcrSelection([1, 2])
+        before = bank.composite_digest(sel)
+        bank.extend(9, M1)
+        assert bank.composite_digest(sel) == before
+
+    def test_composite_of_matches_bank(self):
+        bank = PcrBank()
+        bank.extend(4, M1)
+        sel = PcrSelection([0, 4])
+        values = [bank.read(0), bank.read(4)]
+        assert PcrBank.composite_of(sel, values) == bank.composite_digest(sel)
+
+    def test_composite_of_rejects_wrong_count(self):
+        with pytest.raises(TpmError):
+            PcrBank.composite_of(PcrSelection([0, 1]), [ZERO])
+
+
+class TestPcrSelection:
+    def test_contains(self):
+        sel = PcrSelection([0, 5, 23])
+        assert 0 in sel and 5 in sel and 23 in sel
+        assert 1 not in sel
+
+    def test_indices_sorted(self):
+        assert PcrSelection([9, 2, 17]).indices == [2, 9, 17]
+
+    def test_empty_is_falsy(self):
+        assert not PcrSelection()
+        assert PcrSelection([0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TpmError):
+            PcrSelection([NUM_PCRS])
+
+    def test_serialize_roundtrip(self):
+        sel = PcrSelection([0, 7, 8, 23])
+        restored = PcrSelection.deserialize(ByteReader(sel.serialize()))
+        assert restored == sel
+
+    def test_equality_and_hash(self):
+        assert PcrSelection([1, 2]) == PcrSelection([2, 1])
+        assert hash(PcrSelection([1, 2])) == hash(PcrSelection([2, 1]))
+        assert PcrSelection([1]) != PcrSelection([2])

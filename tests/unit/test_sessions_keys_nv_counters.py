@@ -1,0 +1,249 @@
+"""Unit tests for TPM internals: sessions, key slots, NV storage, counters."""
+
+import pytest
+
+from repro.crypto.random_source import RandomSource
+from repro.crypto.rsa import generate_keypair
+from repro.tpm.constants import (
+    MAX_KEY_SLOTS,
+    TPM_KEY_SIGNING,
+    TPM_KEY_STORAGE,
+    TPM_KH_EK,
+    TPM_KH_SRK,
+)
+from repro.tpm.counters import CounterTable
+from repro.tpm.keys import KeySlots, LoadedKey
+from repro.tpm.nvram import (
+    NV_PER_AUTHWRITE,
+    NV_PER_WRITEDEFINE,
+    NvStorage,
+)
+from repro.tpm.sessions import SessionTable, compute_auth, osap_shared_secret
+from repro.util.errors import TpmError
+
+
+@pytest.fixture
+def sessions(rng):
+    return SessionTable(rng.fork("sess"))
+
+
+class TestSessions:
+    def test_oiap_rolls_nonce_on_success(self, sessions):
+        session = sessions.open_oiap()
+        first_even = session.nonce_even
+        digest, odd = b"\x01" * 20, b"\x02" * 20
+        auth = compute_auth(b"secret", digest, first_even, odd, True)
+        new_even = sessions.verify_and_roll(
+            session, b"secret", digest, odd, True, auth
+        )
+        assert new_even != first_even
+        assert sessions.open_count == 1  # continue=True keeps it alive
+
+    def test_failed_auth_terminates_session(self, sessions):
+        session = sessions.open_oiap()
+        with pytest.raises(TpmError):
+            sessions.verify_and_roll(
+                session, b"secret", b"\x01" * 20, b"\x02" * 20, True, b"\x00" * 20
+            )
+        assert sessions.open_count == 0
+
+    def test_discontinued_session_closes(self, sessions):
+        session = sessions.open_oiap()
+        digest, odd = b"\x01" * 20, b"\x02" * 20
+        auth = compute_auth(b"k", digest, session.nonce_even, odd, False)
+        sessions.verify_and_roll(session, b"k", digest, odd, False, auth)
+        assert sessions.open_count == 0
+
+    def test_osap_uses_shared_secret(self, sessions):
+        entity_secret = b"E" * 20
+        nonce_odd_osap = b"\x07" * 20
+        session, nonce_even_osap = sessions.open_osap(
+            0x0002, 0, entity_secret, nonce_odd_osap
+        )
+        expected = osap_shared_secret(entity_secret, nonce_even_osap, nonce_odd_osap)
+        assert session.shared_secret == expected
+        assert session.hmac_key(b"ignored") == expected
+
+    def test_session_limit(self, rng):
+        table = SessionTable(rng, max_sessions=2)
+        table.open_oiap()
+        table.open_oiap()
+        with pytest.raises(TpmError):
+            table.open_oiap()
+
+    def test_unknown_handle_rejected(self, sessions):
+        with pytest.raises(TpmError):
+            sessions.get(0xDEAD)
+
+    def test_replayed_auth_fails_after_roll(self, sessions):
+        """The property the replay attack relies on."""
+        session = sessions.open_oiap()
+        digest, odd = b"\x01" * 20, b"\x02" * 20
+        auth = compute_auth(b"k", digest, session.nonce_even, odd, True)
+        sessions.verify_and_roll(session, b"k", digest, odd, True, auth)
+        with pytest.raises(TpmError):
+            sessions.verify_and_roll(session, b"k", digest, odd, True, auth)
+
+
+def _key(usage=TPM_KEY_SIGNING):
+    pair = generate_keypair(512, RandomSource(b"slot-key"))
+    return LoadedKey(
+        handle=0, usage=usage, keypair=pair,
+        usage_auth=b"U" * 20, migration_auth=b"M" * 20,
+    )
+
+
+class TestKeySlots:
+    def test_load_assigns_unique_handles(self):
+        slots = KeySlots()
+        h1 = slots.load(_key())
+        h2 = slots.load(_key())
+        assert h1 != h2
+        assert slots.get(h1).handle == h1
+
+    def test_slot_exhaustion(self):
+        slots = KeySlots(max_slots=2)
+        slots.load(_key())
+        slots.load(_key())
+        with pytest.raises(TpmError):
+            slots.load(_key())
+
+    def test_evict_frees_slot(self):
+        slots = KeySlots(max_slots=1)
+        handle = slots.load(_key())
+        slots.evict(handle)
+        slots.load(_key())  # fits again
+
+    def test_permanent_handles(self):
+        slots = KeySlots()
+        srk = _key(TPM_KEY_STORAGE)
+        ek = _key(TPM_KEY_STORAGE)
+        slots.install_srk(srk)
+        slots.install_ek(ek)
+        assert slots.get(TPM_KH_SRK) is srk
+        assert slots.get(TPM_KH_EK) is ek
+
+    def test_cannot_evict_permanent(self):
+        slots = KeySlots()
+        slots.install_srk(_key(TPM_KEY_STORAGE))
+        with pytest.raises(TpmError):
+            slots.evict(TPM_KH_SRK)
+
+    def test_srk_missing_reports_no_srk(self):
+        with pytest.raises(TpmError, match="no SRK"):
+            KeySlots().get(TPM_KH_SRK)
+
+    def test_evict_all_clears_volatile_only(self):
+        slots = KeySlots()
+        slots.install_srk(_key(TPM_KEY_STORAGE))
+        slots.load(_key())
+        slots.evict_all()
+        assert slots.loaded_count == 0
+        assert slots.get(TPM_KH_SRK) is not None
+
+    def test_usage_predicates(self):
+        assert _key(TPM_KEY_SIGNING).can_sign
+        assert not _key(TPM_KEY_SIGNING).can_store
+        assert _key(TPM_KEY_STORAGE).can_store
+
+
+class TestNvStorage:
+    def test_define_write_read(self):
+        nv = NvStorage()
+        nv.define(0x10, 16, NV_PER_AUTHWRITE, b"A" * 20)
+        nv.write(0x10, 0, b"0123456789abcdef")
+        assert nv.read(0x10, 4, 6) == b"456789"
+
+    def test_fresh_area_reads_erased(self):
+        nv = NvStorage()
+        nv.define(0x10, 8, 0, b"A" * 20)
+        assert nv.read(0x10, 0, 8) == b"\xff" * 8
+
+    def test_capacity_enforced(self):
+        nv = NvStorage(capacity=32)
+        nv.define(0x1, 24, 0, b"A" * 20)
+        with pytest.raises(TpmError, match="NV full"):
+            nv.define(0x2, 16, 0, b"A" * 20)
+
+    def test_size_zero_deletes(self):
+        nv = NvStorage()
+        nv.define(0x10, 8, 0, b"A" * 20)
+        nv.define(0x10, 0, 0, b"")
+        with pytest.raises(TpmError):
+            nv.get(0x10)
+
+    def test_duplicate_index_rejected(self):
+        nv = NvStorage()
+        nv.define(0x10, 8, 0, b"A" * 20)
+        with pytest.raises(TpmError):
+            nv.define(0x10, 8, 0, b"A" * 20)
+
+    def test_out_of_bounds_write_rejected(self):
+        nv = NvStorage()
+        nv.define(0x10, 8, 0, b"A" * 20)
+        with pytest.raises(TpmError):
+            nv.write(0x10, 6, b"toolong")
+
+    def test_out_of_bounds_read_rejected(self):
+        nv = NvStorage()
+        nv.define(0x10, 8, 0, b"A" * 20)
+        with pytest.raises(TpmError):
+            nv.read(0x10, 0, 9)
+
+    def test_write_lock_via_writedefine(self):
+        nv = NvStorage()
+        nv.define(0x10, 8, NV_PER_WRITEDEFINE, b"A" * 20)
+        nv.write(0x10, 0, b"lockedat")
+        nv.write(0x10, 0, b"")  # size-0 write locks
+        with pytest.raises(TpmError, match="write-locked"):
+            nv.write(0x10, 0, b"again!!!")
+        assert nv.read(0x10, 0, 8) == b"lockedat"
+
+    def test_index_zero_reserved(self):
+        with pytest.raises(TpmError):
+            NvStorage().define(0, 8, 0, b"A" * 20)
+
+    def test_used_accounting(self):
+        nv = NvStorage()
+        nv.define(0x1, 10, 0, b"A" * 20)
+        nv.define(0x2, 20, 0, b"A" * 20)
+        assert nv.used == 30
+        nv.define(0x1, 0, 0, b"")
+        assert nv.used == 20
+
+
+class TestCounters:
+    def test_values_strictly_increase(self):
+        table = CounterTable()
+        counter = table.create(b"ctr1", b"A" * 20)
+        start = counter.value
+        assert table.increment(counter.handle) == start + 1
+        assert table.increment(counter.handle) == start + 2
+
+    def test_new_counter_above_high_water(self):
+        table = CounterTable()
+        first = table.create(b"ctr1", b"A" * 20)
+        for _ in range(5):
+            table.increment(first.handle)
+        second = table.create(b"ctr2", b"A" * 20)
+        assert second.value > first.value
+
+    def test_release_frees_slot(self):
+        table = CounterTable(max_counters=1)
+        counter = table.create(b"ctr1", b"A" * 20)
+        table.release(counter.handle)
+        table.create(b"ctr2", b"A" * 20)
+
+    def test_limit_enforced(self):
+        table = CounterTable(max_counters=1)
+        table.create(b"ctr1", b"A" * 20)
+        with pytest.raises(TpmError):
+            table.create(b"ctr2", b"A" * 20)
+
+    def test_label_must_be_4_bytes(self):
+        with pytest.raises(TpmError):
+            CounterTable().create(b"long-label", b"A" * 20)
+
+    def test_unknown_handle_rejected(self):
+        with pytest.raises(TpmError):
+            CounterTable().get(0x123)

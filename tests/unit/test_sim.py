@@ -1,0 +1,222 @@
+"""Unit tests for the simulation kernel: clock, engine, timing."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Simulator
+from repro.sim.timing import (
+    CostLedger,
+    CostModel,
+    TimingContext,
+    charge,
+    context_scope,
+    get_context,
+    ledger_scope,
+)
+from repro.util.errors import SimulationError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_us == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance(10.5)
+        assert clock.now_us == 10.5
+        assert clock.now_ms == pytest.approx(0.0105)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance(-1)
+
+    def test_jump_backwards_rejected(self):
+        clock = VirtualClock(100)
+        with pytest.raises(SimulationError):
+            clock.jump_to(50)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-5)
+
+
+class TestSimulator:
+    def test_process_delays_advance_clock(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.clock.now_us)
+            yield 100
+            trace.append(sim.clock.now_us)
+            yield 50
+            trace.append(sim.clock.now_us)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 100.0, 150.0]
+
+    def test_two_processes_interleave_deterministically(self):
+        sim = Simulator()
+        order = []
+
+        def proc(name, delay):
+            for i in range(3):
+                yield delay
+                order.append((name, sim.clock.now_us))
+
+        sim.spawn(proc("a", 10))
+        sim.spawn(proc("b", 15))
+        sim.run()
+        # Tie at t=30 resolves by insertion order: b's event was queued at
+        # t=15, before a's at t=20.
+        assert order == [
+            ("a", 10.0), ("b", 15.0), ("a", 20.0),
+            ("b", 30.0), ("a", 30.0), ("b", 45.0),
+        ]
+
+    def test_resource_fifo_order(self):
+        sim = Simulator()
+        res = sim.resource("manager")
+        order = []
+
+        def client(name):
+            yield res.acquire()
+            order.append(name)
+            yield 10
+            res.release()
+
+        for name in ("first", "second", "third"):
+            sim.spawn(client(name), name)
+        sim.run()
+        assert order == ["first", "second", "third"]
+        assert res.total_acquisitions == 3
+        assert not res.busy
+
+    def test_release_idle_resource_rejected(self):
+        sim = Simulator()
+        res = sim.resource()
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_negative_yield_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield -5
+
+        sim.spawn(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1000
+
+        sim.spawn(proc())
+        final = sim.run(until_us=100)
+        assert final == 100.0
+
+    def test_run_all_detects_deadlock(self):
+        sim = Simulator()
+        res = sim.resource()
+
+        def holder():
+            yield res.acquire()
+            yield 1
+            # never releases
+
+        def waiter():
+            yield res.acquire()
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_all([holder(), waiter()])
+
+    def test_process_result_captured(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+            return 42
+
+        handle = sim.spawn(proc())
+        sim.run()
+        assert handle.finished and handle.result == 42
+
+
+class TestCostModel:
+    def test_known_op_cost(self):
+        model = CostModel()
+        cost = model.cost_us("hash.sha1", 1000)
+        assert cost == pytest.approx(0.9 + 0.0042 * 1000)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SimulationError, match="unknown cost-model"):
+            CostModel().cost_us("no.such.op")
+
+    def test_cpu_scale(self):
+        fast = CostModel(cpu_scale=0.5)
+        slow = CostModel(cpu_scale=2.0)
+        assert fast.cost_us("xen.hypercall") * 4 == pytest.approx(
+            slow.cost_us("xen.hypercall")
+        )
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SimulationError):
+            CostModel(cpu_scale=0)
+
+    def test_overrides_apply(self):
+        model = CostModel(overrides={"xen.hypercall": (100.0, 0.0)})
+        assert model.cost_us("xen.hypercall") == 100.0
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(SimulationError):
+            CostModel().cost_us("hash.sha1", -1)
+
+
+class TestChargeAndLedgers:
+    def test_charge_advances_ambient_clock(self):
+        ctx = get_context()
+        before = ctx.clock.now_us
+        charge("xen.hypercall")
+        assert ctx.clock.now_us > before
+
+    def test_ledger_scope_records(self):
+        with ledger_scope(name="test") as ledger:
+            charge("xen.hypercall")
+            charge("hash.sha1", 100)
+        assert ledger.calls["xen.hypercall"] == 1
+        assert ledger.calls["hash.sha1"] == 1
+        assert ledger.total_us > 0
+
+    def test_nested_ledgers_both_record(self):
+        with ledger_scope(name="outer") as outer:
+            charge("xen.hypercall")
+            with ledger_scope(name="inner") as inner:
+                charge("xen.hypercall")
+        assert outer.calls["xen.hypercall"] == 2
+        assert inner.calls["xen.hypercall"] == 1
+
+    def test_cost_for_prefix(self):
+        with ledger_scope() as ledger:
+            charge("ac.policy.lookup")
+            charge("ac.audit.append", 10)
+            charge("xen.hypercall")
+        assert ledger.cost_for_prefix("ac.") == pytest.approx(
+            ledger.total_us - CostModel().cost_us("xen.hypercall")
+        )
+
+    def test_context_scope_restores_previous(self):
+        original = get_context()
+        with context_scope(TimingContext()) as inner:
+            assert get_context() is inner
+        assert get_context() is original
+
+    def test_ledger_reset(self):
+        ledger = CostLedger()
+        with ledger_scope(ledger):
+            charge("xen.hypercall")
+        ledger.reset()
+        assert ledger.total_us == 0.0 and not ledger.calls

@@ -1,0 +1,122 @@
+"""Unit tests for full TPM state serialization and the secret inventory."""
+
+import pytest
+
+from repro.crypto.random_source import RandomSource
+from repro.tpm.client import TpmClient
+from repro.tpm.constants import TPM_KEY_SIGNING, TPM_KH_SRK
+from repro.tpm.device import TpmDevice
+from repro.tpm.state import TpmState
+from repro.util.errors import MarshalError
+
+from tests.conftest import OWNER, SRK
+
+KEY_AUTH = b"K" * 20
+DATA_AUTH = b"D" * 20
+
+
+def _provisioned_device(rng):
+    device = TpmDevice(rng.fork("d"), key_bits=512)
+    device.power_on()
+    client = TpmClient(device.execute, rng.fork("c"))
+    ek = client.read_pubek()
+    client.take_ownership(OWNER, SRK, ek)
+    client.extend(10, b"\xab" * 20)
+    blob = client.create_wrap_key(TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512)
+    client.load_key2(TPM_KH_SRK, SRK, blob)
+    from repro.tpm.nvram import NV_PER_AUTHREAD, NV_PER_AUTHWRITE
+
+    client.nv_define(OWNER, 0x55, 16, NV_PER_AUTHREAD | NV_PER_AUTHWRITE, b"N" * 20)
+    client.nv_write(b"N" * 20, 0x55, 0, b"nv-secret-conten")
+    client.create_counter(OWNER, b"C" * 20, b"cnt0")
+    return device, client
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self, rng):
+        device, client = _provisioned_device(rng)
+        blob = device.save_state_blob()
+        restored = TpmDevice.from_state_blob(blob)
+        r_client = TpmClient(restored.execute, rng.fork("rc"))
+        # Flags and owner
+        assert restored.state.flags.owned
+        assert restored.state.owner_auth == OWNER
+        # PCRs
+        assert r_client.pcr_read(10) == client.pcr_read(10)
+        # EK/SRK identical moduli
+        assert restored.state.keys.ek.keypair.public.n == \
+            device.state.keys.ek.keypair.public.n
+        assert restored.state.keys.srk.keypair.public.n == \
+            device.state.keys.srk.keypair.public.n
+        # NV
+        assert r_client.nv_read(0x55, 0, 16, auth=b"N" * 20) == b"nv-secret-conten"
+        # Counters
+        counters = restored.state.counters.counters()
+        assert len(counters) == 1
+        # Volatile keys survive (migration semantics)
+        assert restored.state.keys.loaded_count == 1
+
+    def test_exclude_volatile(self, rng):
+        device, _ = _provisioned_device(rng)
+        blob = device.save_state_blob(include_volatile=False)
+        restored = TpmDevice.from_state_blob(blob)
+        assert restored.state.keys.loaded_count == 0
+
+    def test_roundtrip_is_stable(self, rng):
+        device, _ = _provisioned_device(rng)
+        blob = device.save_state_blob()
+        blob2 = TpmDevice.from_state_blob(blob).save_state_blob()
+        assert blob == blob2
+
+    def test_garbage_rejected(self):
+        with pytest.raises(MarshalError):
+            TpmState.deserialize(b"this is not TPM state")
+
+    def test_truncated_rejected(self, rng):
+        device, _ = _provisioned_device(rng)
+        blob = device.save_state_blob()
+        with pytest.raises(MarshalError):
+            TpmState.deserialize(blob[: len(blob) // 2])
+
+    def test_nv_capacity_preserved(self, rng):
+        device = TpmDevice(rng.fork("cap"), key_bits=512, nv_capacity=9999)
+        device.power_on()
+        restored = TpmDevice.from_state_blob(device.save_state_blob())
+        assert restored.state.nv.capacity == 9999
+
+
+class TestSecretInventory:
+    def test_contains_hierarchy_and_nv(self, rng):
+        device, _ = _provisioned_device(rng)
+        secrets = device.state.secret_material()
+        blob = device.save_state_blob()
+        # Every listed secret is literally present in the cleartext state.
+        for secret in secrets:
+            assert secret in blob
+        assert OWNER in secrets
+        assert device.state.keys.srk.keypair.serialize_private() in secrets
+
+    def test_well_known_secrets_excluded(self, rng):
+        device = TpmDevice(rng.fork("fresh"), key_bits=512)
+        device.power_on()
+        secrets = device.state.secret_material()
+        assert b"\x00" * 20 not in secrets
+
+    def test_unowned_has_fewer_secrets(self, rng):
+        fresh = TpmDevice(rng.fork("f2"), key_bits=512)
+        fresh.power_on()
+        provisioned, _ = _provisioned_device(rng)
+        assert len(fresh.state.secret_material()) < len(
+            provisioned.state.secret_material()
+        )
+
+
+class TestOwnerClear:
+    def test_clear_drops_secrets(self, rng):
+        device, client = _provisioned_device(rng)
+        before = len(device.state.secret_material())
+        client.owner_clear(OWNER)
+        after = len(device.state.secret_material())
+        assert after < before
+        assert device.state.keys.srk is None
+        assert device.state.keys.loaded_count == 0

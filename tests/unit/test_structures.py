@@ -1,0 +1,150 @@
+"""Unit tests for TPM wire structures: key blobs, sealed blobs, quote info."""
+
+import pytest
+
+from repro.crypto.random_source import RandomSource
+from repro.crypto.rsa import generate_keypair
+from repro.tpm.constants import (
+    TPM_KEY_SIGNING,
+    TPM_KEY_STORAGE,
+    TPM_SS_RSASSAPKCS1v15_SHA1,
+)
+from repro.tpm.pcr import PcrSelection
+from repro.tpm.structures import (
+    SealedBlob,
+    SealedPayload,
+    TpmKeyBlob,
+    TpmPcrInfo,
+    make_quote_info,
+)
+from repro.util.bytesio import ByteReader
+from repro.util.errors import MarshalError, TpmError
+
+
+@pytest.fixture(scope="module")
+def parent():
+    return generate_keypair(512, RandomSource(b"parent"))
+
+
+@pytest.fixture(scope="module")
+def child():
+    return generate_keypair(512, RandomSource(b"child"))
+
+
+@pytest.fixture
+def wrapped(parent, child, rng):
+    return TpmKeyBlob.wrap(
+        parent=parent,
+        keypair=child,
+        usage=TPM_KEY_SIGNING,
+        usage_auth=b"U" * 20,
+        migration_auth=b"M" * 20,
+        rng=rng,
+    )
+
+
+class TestKeyBlob:
+    def test_wrap_unwrap_roundtrip(self, parent, child, wrapped):
+        portion = wrapped.unwrap(parent)
+        assert portion.keypair.public.n == child.public.n
+        assert portion.usage_auth == b"U" * 20
+        assert portion.migration_auth == b"M" * 20
+
+    def test_wrong_parent_cannot_unwrap(self, wrapped):
+        imposter = generate_keypair(512, RandomSource(b"imposter"))
+        with pytest.raises(TpmError):
+            wrapped.unwrap(imposter)
+
+    def test_serialize_roundtrip(self, parent, wrapped):
+        restored = TpmKeyBlob.deserialize(wrapped.serialize())
+        assert restored.usage == wrapped.usage
+        assert restored.public.n == wrapped.public.n
+        assert restored.unwrap(parent).usage_auth == b"U" * 20
+
+    def test_pcr_info_survives_serialization(self, parent, child, rng):
+        info = TpmPcrInfo(
+            selection=PcrSelection([0, 5]), digest_at_release=b"\x0d" * 20
+        )
+        blob = TpmKeyBlob.wrap(
+            parent=parent, keypair=child, usage=TPM_KEY_SIGNING,
+            usage_auth=b"U" * 20, migration_auth=b"M" * 20, rng=rng,
+            pcr_info=info,
+        )
+        restored = TpmKeyBlob.deserialize(blob.serialize())
+        assert restored.pcr_info.selection == info.selection
+        assert restored.pcr_info.digest_at_release == info.digest_at_release
+
+    def test_unknown_usage_rejected(self, parent, child, rng):
+        with pytest.raises(TpmError):
+            TpmKeyBlob.wrap(
+                parent=parent, keypair=child, usage=0x9999,
+                usage_auth=b"U" * 20, migration_auth=b"M" * 20, rng=rng,
+            )
+
+    def test_default_scheme_by_usage(self, parent, child, rng):
+        signing = TpmKeyBlob.wrap(
+            parent=parent, keypair=child, usage=TPM_KEY_SIGNING,
+            usage_auth=b"U" * 20, migration_auth=b"M" * 20, rng=rng,
+        )
+        assert signing.scheme == TPM_SS_RSASSAPKCS1v15_SHA1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(MarshalError):
+            TpmKeyBlob.deserialize(b"not a key blob at all")
+
+    def test_tampered_private_portion_detected(self, parent, wrapped):
+        blob = bytearray(wrapped.serialize())
+        blob[-10] ^= 0xFF  # inside enc_private
+        with pytest.raises((TpmError, MarshalError)):
+            TpmKeyBlob.deserialize(bytes(blob)).unwrap(parent)
+
+
+class TestSealedBlob:
+    def test_serialize_roundtrip(self, rng):
+        from repro.crypto.symmetric import SymmetricKey
+
+        key = SymmetricKey.generate(rng)
+        payload = SealedPayload(auth=b"A" * 20, data=b"sealed-data")
+        enc = key.encrypt(payload.serialize(), rng)
+        blob = SealedBlob(pcr_info=None, enc_payload=enc)
+        restored = SealedBlob.deserialize(blob.serialize())
+        recovered = SealedPayload.deserialize(key.decrypt(restored.enc_payload))
+        assert recovered.data == b"sealed-data"
+        assert recovered.auth == b"A" * 20
+
+    def test_pcr_info_roundtrip(self, rng):
+        from repro.crypto.symmetric import SymmetricKey
+
+        key = SymmetricKey.generate(rng)
+        enc = key.encrypt(SealedPayload(auth=b"A" * 20, data=b"d").serialize(), rng)
+        info = TpmPcrInfo(selection=PcrSelection([8]), digest_at_release=b"\x01" * 20)
+        blob = SealedBlob(pcr_info=info, enc_payload=enc)
+        restored = SealedBlob.deserialize(blob.serialize())
+        assert restored.pcr_info.selection == PcrSelection([8])
+
+    def test_not_a_seal_rejected(self):
+        with pytest.raises(MarshalError):
+            SealedBlob.deserialize(b"XXXX" + b"\x00" * 40)
+
+
+class TestQuoteInfo:
+    def test_layout(self):
+        info = make_quote_info(b"\x01" * 20, b"\x02" * 20)
+        r = ByteReader(info)
+        assert r.raw(4) == bytes((1, 1, 0, 0))
+        assert r.raw(4) == b"QUOT"
+        assert r.raw(20) == b"\x01" * 20
+        assert r.raw(20) == b"\x02" * 20
+        r.expect_end()
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(MarshalError):
+            make_quote_info(b"short", b"\x02" * 20)
+        with pytest.raises(MarshalError):
+            make_quote_info(b"\x01" * 20, b"short")
+
+
+class TestPcrInfo:
+    def test_bad_digest_rejected(self):
+        with pytest.raises(MarshalError):
+            TpmPcrInfo(selection=PcrSelection([0]), digest_at_release=b"xy")

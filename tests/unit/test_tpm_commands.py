@@ -1,0 +1,334 @@
+"""Command-level TPM tests through the real wire path (client ↔ device)."""
+
+import hashlib
+
+import pytest
+
+from repro.tpm.constants import (
+    TPM_AUTHFAIL,
+    TPM_BADTAG,
+    TPM_BAD_ORDINAL,
+    TPM_BADINDEX,
+    TPM_INVALID_KEYHANDLE,
+    TPM_INVALID_KEYUSAGE,
+    TPM_INVALID_POSTINIT,
+    TPM_IOERROR,
+    TPM_KEY_BIND,
+    TPM_KEY_SIGNING,
+    TPM_KEY_STORAGE,
+    TPM_KH_SRK,
+    TPM_OWNER_SET,
+    TPM_SUCCESS,
+    TPM_WRONGPCRVAL,
+)
+from repro.tpm import marshal
+from repro.tpm.device import TpmDevice
+from repro.tpm.pcr import PcrSelection
+from repro.util.errors import TpmError
+
+from tests.conftest import OWNER, SRK
+
+KEY_AUTH = b"K" * 20
+DATA_AUTH = b"D" * 20
+
+
+class TestLifecycle:
+    def test_unpowered_device_reports_ioerror(self, rng):
+        device = TpmDevice(rng, key_bits=512)
+        response = device.execute(marshal.build_command(0x99, b"\x00\x01"))
+        assert marshal.parse_response(response).return_code == TPM_IOERROR
+
+    def test_commands_before_startup_rejected(self, rng):
+        device = TpmDevice(rng, key_bits=512)
+        device.powered = True  # powered but never started
+        wire = marshal.build_command(0x46, b"\x00\x00\x00\x08")  # GetRandom
+        code = marshal.parse_response(device.execute(wire)).return_code
+        assert code == TPM_INVALID_POSTINIT
+
+    def test_double_startup_rejected(self, tpm_device):
+        wire = marshal.build_command(0x99, b"\x00\x01")
+        code = marshal.parse_response(tpm_device.execute(wire)).return_code
+        assert code == TPM_INVALID_POSTINIT
+
+    def test_unknown_ordinal(self, tpm_device):
+        wire = marshal.build_command(0x7FFFFFFF, b"")
+        code = marshal.parse_response(tpm_device.execute(wire)).return_code
+        assert code == TPM_BAD_ORDINAL
+
+    def test_malformed_frame_reports_error_response(self, tpm_device):
+        response = tpm_device.execute(b"\x00\xc1\x00\x00\x00\x20trunc")
+        assert marshal.parse_response(response).return_code != TPM_SUCCESS
+
+
+class TestAdmin:
+    def test_get_random_length(self, tpm_client):
+        assert len(tpm_client.get_random(33)) == 33
+
+    def test_get_random_stream_changes(self, tpm_client):
+        assert tpm_client.get_random(16) != tpm_client.get_random(16)
+
+    def test_capability_pcr_count(self, tpm_client):
+        value = tpm_client.get_capability_property(0x101)
+        assert int.from_bytes(value, "big") == 24
+
+    def test_capability_manufacturer(self, tpm_client):
+        assert tpm_client.get_capability_property(0x103) == b"REPR"
+
+    def test_self_test(self, tpm_client):
+        tpm_client.self_test()  # must not raise
+
+    def test_flush_unknown_session_ok(self, tpm_client):
+        session = tpm_client.oiap()
+        tpm_client.flush_session(session)  # close is idempotent
+
+
+class TestOwnership:
+    def test_take_ownership_installs_srk(self, tpm_client, tpm_device):
+        ek = tpm_client.read_pubek()
+        srk_pub = tpm_client.take_ownership(OWNER, SRK, ek)
+        assert tpm_device.state.flags.owned
+        assert srk_pub.bits == 512
+
+    def test_double_ownership_rejected(self, tpm_client):
+        ek = tpm_client.read_pubek()
+        tpm_client.take_ownership(OWNER, SRK, ek)
+        with pytest.raises(TpmError) as err:
+            tpm_client.take_ownership(OWNER, SRK, ek)
+        assert err.value.code == TPM_OWNER_SET
+
+    def test_pubek_locked_after_ownership(self, owned_client):
+        with pytest.raises(TpmError) as err:
+            owned_client.read_pubek()
+        assert err.value.code == TPM_OWNER_SET
+
+    def test_owner_clear_resets(self, owned_client, tpm_device):
+        owned_client.owner_clear(OWNER)
+        assert not tpm_device.state.flags.owned
+        owned_client.read_pubek()  # readable again
+
+    def test_owner_clear_wrong_auth_rejected(self, owned_client):
+        with pytest.raises(TpmError) as err:
+            owned_client.owner_clear(b"wrong-owner-auth!!!!")
+        assert err.value.code == TPM_AUTHFAIL
+
+
+class TestPcrCommands:
+    def test_extend_read_agree(self, tpm_client):
+        value = tpm_client.extend(4, b"\xaa" * 20)
+        assert tpm_client.pcr_read(4) == value
+
+    def test_extend_bad_index(self, tpm_client):
+        with pytest.raises(TpmError) as err:
+            tpm_client.extend(24, b"\xaa" * 20)
+        assert err.value.code == TPM_BADINDEX
+
+    def test_pcr_reset_requires_locality(self, tpm_client, tpm_device):
+        tpm_client.extend(18, b"\xaa" * 20)
+        with pytest.raises(TpmError):
+            tpm_client.pcr_reset([18])  # transport locality is 0
+
+    def test_pcr_reset_with_locality(self, tpm_device, rng):
+        from repro.tpm.client import TpmClient
+
+        client = TpmClient(
+            lambda wire: tpm_device.execute(wire, locality=2), rng.fork("loc2")
+        )
+        client.extend(18, b"\xaa" * 20)
+        client.pcr_reset([18])
+        assert client.pcr_read(18) == b"\x00" * 20
+
+
+class TestStorageCommands:
+    def test_seal_unseal_roundtrip(self, owned_client):
+        blob = owned_client.seal(TPM_KH_SRK, SRK, b"payload", DATA_AUTH)
+        assert owned_client.unseal(TPM_KH_SRK, SRK, blob, DATA_AUTH) == b"payload"
+
+    def test_unseal_wrong_data_auth(self, owned_client):
+        blob = owned_client.seal(TPM_KH_SRK, SRK, b"payload", DATA_AUTH)
+        with pytest.raises(TpmError) as err:
+            owned_client.unseal(TPM_KH_SRK, SRK, blob, b"X" * 20)
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_unseal_wrong_parent_auth(self, owned_client):
+        blob = owned_client.seal(TPM_KH_SRK, SRK, b"payload", DATA_AUTH)
+        with pytest.raises(TpmError) as err:
+            owned_client.unseal(TPM_KH_SRK, b"Y" * 20, blob, DATA_AUTH)
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_pcr_bound_seal_enforced(self, owned_client, tpm_device):
+        selection = PcrSelection([6])
+        digest = tpm_device.state.pcrs.composite_digest(selection)
+        blob = owned_client.seal(
+            TPM_KH_SRK, SRK, b"bound", DATA_AUTH, selection, digest
+        )
+        assert owned_client.unseal(TPM_KH_SRK, SRK, blob, DATA_AUTH) == b"bound"
+        owned_client.extend(6, b"\xbb" * 20)
+        with pytest.raises(TpmError) as err:
+            owned_client.unseal(TPM_KH_SRK, SRK, blob, DATA_AUTH)
+        assert err.value.code == TPM_WRONGPCRVAL
+
+    def test_create_and_load_signing_key(self, owned_client):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        digest = hashlib.sha1(b"to sign").digest()
+        signature = owned_client.sign(handle, KEY_AUTH, digest)
+        public = owned_client.get_pub_key(handle, KEY_AUTH)
+        assert public.verify_sha1(digest, signature)
+
+    def test_storage_key_cannot_sign(self, owned_client):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_STORAGE, 512
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        with pytest.raises(TpmError) as err:
+            owned_client.sign(handle, KEY_AUTH, hashlib.sha1(b"x").digest())
+        assert err.value.code == TPM_INVALID_KEYUSAGE
+
+    def test_signing_key_cannot_parent(self, owned_client):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        with pytest.raises(TpmError) as err:
+            owned_client.create_wrap_key(handle, KEY_AUTH, KEY_AUTH,
+                                         TPM_KEY_SIGNING, 512)
+        assert err.value.code == TPM_INVALID_KEYUSAGE
+
+    def test_evicted_key_unusable(self, owned_client):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        owned_client.evict_key(handle)
+        with pytest.raises(TpmError) as err:
+            owned_client.sign(handle, KEY_AUTH, hashlib.sha1(b"x").digest())
+        assert err.value.code == TPM_INVALID_KEYHANDLE
+
+    def test_bind_unbind_roundtrip(self, owned_client, rng):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_BIND, 512
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        public = owned_client.get_pub_key(handle, KEY_AUTH)
+        bound = public.encrypt(b"bound-data", rng)
+        assert owned_client.unbind(handle, KEY_AUTH, bound) == b"bound-data"
+
+    def test_signing_key_cannot_unbind(self, owned_client, rng):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512
+        )
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+        public = owned_client.get_pub_key(handle, KEY_AUTH)
+        with pytest.raises(TpmError) as err:
+            owned_client.unbind(handle, KEY_AUTH, public.encrypt(b"x", rng))
+        assert err.value.code == TPM_INVALID_KEYUSAGE
+
+
+class TestQuoteAndIdentity:
+    @pytest.fixture
+    def signing_handle(self, owned_client):
+        blob = owned_client.create_wrap_key(
+            TPM_KH_SRK, SRK, KEY_AUTH, TPM_KEY_SIGNING, 512
+        )
+        return owned_client.load_key2(TPM_KH_SRK, SRK, blob)
+
+    def test_quote_verifies(self, owned_client, signing_handle):
+        from repro.tpm.pcr import PcrBank
+        from repro.tpm.structures import make_quote_info
+
+        owned_client.extend(10, b"\xcd" * 20)
+        nonce = b"\x11" * 20
+        composite, values, signature = owned_client.quote(
+            signing_handle, KEY_AUTH, nonce, [0, 10]
+        )
+        public = owned_client.get_pub_key(signing_handle, KEY_AUTH)
+        info = make_quote_info(composite, nonce)
+        assert public.verify_sha1(hashlib.sha1(info).digest(), signature)
+        assert PcrBank.composite_of(PcrSelection([0, 10]), values) == composite
+
+    def test_quote_binds_nonce(self, owned_client, signing_handle):
+        from repro.tpm.structures import make_quote_info
+
+        nonce = b"\x11" * 20
+        composite, _values, signature = owned_client.quote(
+            signing_handle, KEY_AUTH, nonce, [0]
+        )
+        public = owned_client.get_pub_key(signing_handle, KEY_AUTH)
+        forged = make_quote_info(composite, b"\x22" * 20)
+        assert not public.verify_sha1(hashlib.sha1(forged).digest(), signature)
+
+    def test_make_and_use_identity(self, owned_client):
+        aik_blob, binding = owned_client.make_identity(OWNER, KEY_AUTH, b"aik-1")
+        handle = owned_client.load_key2(TPM_KH_SRK, SRK, aik_blob)
+        composite, values, signature = owned_client.quote(
+            handle, KEY_AUTH, b"\x33" * 20, [0]
+        )
+        assert len(signature) == 64  # 512-bit key
+        assert len(binding) == 20
+
+    def test_activate_identity_roundtrip(self, tpm_client, rng):
+        # Activation needs the pre-ownership EK public.
+        ek = tpm_client.read_pubek()
+        tpm_client.take_ownership(OWNER, SRK, ek)
+        aik_blob, _ = tpm_client.make_identity(OWNER, KEY_AUTH, b"aik-2")
+        handle = tpm_client.load_key2(TPM_KH_SRK, SRK, aik_blob)
+        session_key = b"ca-session-key-16b"
+        enc = ek.encrypt(session_key, rng)
+        assert tpm_client.activate_identity(OWNER, handle, enc) == session_key
+
+
+class TestNvAndCounters:
+    def test_nv_define_write_read(self, owned_client):
+        from repro.tpm.nvram import NV_PER_AUTHREAD, NV_PER_AUTHWRITE
+
+        owned_client.nv_define(OWNER, 0x100, 16,
+                               NV_PER_AUTHREAD | NV_PER_AUTHWRITE, b"N" * 20)
+        owned_client.nv_write(b"N" * 20, 0x100, 0, b"0123456789abcdef")
+        assert owned_client.nv_read(0x100, 8, 8, auth=b"N" * 20) == b"89abcdef"
+
+    def test_nv_wrong_auth_rejected(self, owned_client):
+        from repro.tpm.nvram import NV_PER_AUTHWRITE
+
+        owned_client.nv_define(OWNER, 0x100, 16, NV_PER_AUTHWRITE, b"N" * 20)
+        with pytest.raises(TpmError) as err:
+            owned_client.nv_write(b"X" * 20, 0x100, 0, b"data")
+        assert err.value.code == TPM_AUTHFAIL
+
+    def test_nv_open_read(self, owned_client):
+        from repro.tpm.nvram import NV_PER_OWNERWRITE
+
+        owned_client.nv_define(OWNER, 0x101, 8, NV_PER_OWNERWRITE, b"N" * 20)
+        owned_client.nv_write(OWNER, 0x101, 0, b"openread")
+        assert owned_client.nv_read(0x101, 0, 8) == b"openread"
+
+    def test_nv_chunked_large_write(self, rng):
+        """Payloads beyond one ring page are split client-side."""
+        device = TpmDevice(rng.fork("big-nv"), key_bits=512, nv_capacity=16384)
+        device.power_on()
+        from repro.tpm.client import TpmClient
+        from repro.tpm.nvram import NV_PER_AUTHREAD, NV_PER_AUTHWRITE
+
+        client = TpmClient(device.execute, rng.fork("big-cli"))
+        ek = client.read_pubek()
+        client.take_ownership(OWNER, SRK, ek)
+        client.nv_define(OWNER, 0x200, 10_000,
+                         NV_PER_AUTHREAD | NV_PER_AUTHWRITE, b"N" * 20)
+        payload = rng.bytes(10_000)
+        client.nv_write(b"N" * 20, 0x200, 0, payload)
+        assert client.nv_read(0x200, 0, 10_000, auth=b"N" * 20) == payload
+
+    def test_counter_lifecycle(self, owned_client):
+        handle, start = owned_client.create_counter(OWNER, b"C" * 20, b"ctrA")
+        assert owned_client.increment_counter(b"C" * 20, handle) == start + 1
+        assert owned_client.read_counter(handle) == start + 1
+        owned_client.release_counter(b"C" * 20, handle)
+        with pytest.raises(TpmError):
+            owned_client.read_counter(handle)
+
+    def test_counter_wrong_auth(self, owned_client):
+        handle, _ = owned_client.create_counter(OWNER, b"C" * 20, b"ctrB")
+        with pytest.raises(TpmError) as err:
+            owned_client.increment_counter(b"X" * 20, handle)
+        assert err.value.code == TPM_AUTHFAIL

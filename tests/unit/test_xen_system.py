@@ -1,0 +1,229 @@
+"""Unit tests for XenStore, domains, scheduler, hypervisor and hypercalls."""
+
+import pytest
+
+from repro.crypto.random_source import RandomSource
+from repro.xen.domain import DomainState, VcpuState
+from repro.xen.hypercall import HypercallInterface
+from repro.xen.hypervisor import DOM0_ID, Xen
+from repro.xen.scheduler import CreditScheduler
+from repro.xen.xenstore import XenStore
+from repro.util.errors import DomainNotFound, XenError, XenStoreError
+
+
+@pytest.fixture
+def xen():
+    return Xen(RandomSource(b"xen-test"))
+
+
+class TestXenStore:
+    def test_write_read_roundtrip(self):
+        store = XenStore()
+        store.write(0, "/vtpm/abc/instance", "3", privileged=True)
+        assert store.read(0, "/vtpm/abc/instance") == "3"
+
+    def test_unprivileged_confined_to_own_subtree(self):
+        store = XenStore()
+        store.write(5, "/local/domain/5/device/vtpm/0/state", "1")
+        with pytest.raises(XenStoreError):
+            store.write(5, "/local/domain/6/device/vtpm/0/state", "1")
+        with pytest.raises(XenStoreError):
+            store.write(5, "/vtpm/global", "x")
+
+    def test_privileged_writes_anywhere(self):
+        store = XenStore()
+        store.write(0, "/local/domain/9/name", "victim", privileged=True)
+        assert store.read(0, "/local/domain/9/name", privileged=True) == "victim"
+
+    def test_read_permissions(self):
+        store = XenStore()
+        store.write(5, "/local/domain/5/secret", "s", readers={5})
+        assert store.read(5, "/local/domain/5/secret") == "s"
+        with pytest.raises(XenStoreError):
+            store.read(6, "/local/domain/5/secret")
+        # Privileged override (Dom0 reads everything — the stock model).
+        assert store.read(0, "/local/domain/5/secret", privileged=True) == "s"
+
+    def test_missing_node(self):
+        with pytest.raises(XenStoreError, match="no such node"):
+            XenStore().read(0, "/nothing/here")
+
+    def test_remove_subtree(self):
+        store = XenStore()
+        store.write(0, "/a/b", "1", privileged=True)
+        store.write(0, "/a/b/c", "2", privileged=True)
+        store.remove(0, "/a/b", privileged=True)
+        assert not store.exists("/a/b") and not store.exists("/a/b/c")
+
+    def test_list_dir(self):
+        store = XenStore()
+        store.write(0, "/dev/vtpm/0", "x", privileged=True)
+        store.write(0, "/dev/vtpm/1", "y", privileged=True)
+        store.write(0, "/dev/vif/0", "z", privileged=True)
+        assert store.list_dir("/dev") == ["vif", "vtpm"]
+        assert store.list_dir("/dev/vtpm") == ["0", "1"]
+
+    def test_watch_fires_on_subtree_writes(self):
+        store = XenStore()
+        seen = []
+        store.watch("/dev/vtpm", lambda path, value: seen.append((path, value)))
+        store.write(0, "/dev/vtpm/0/state", "4", privileged=True)
+        store.write(0, "/other", "x", privileged=True)
+        assert seen == [("/dev/vtpm/0/state", "4")]
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(XenStoreError):
+            XenStore().write(0, "no/leading/slash", "x", privileged=True)
+
+    def test_path_normalization(self):
+        store = XenStore()
+        store.write(0, "/a//b/", "v", privileged=True)
+        assert store.read(0, "/a/b") == "v"
+
+
+class TestVcpu:
+    def test_load_and_dump(self):
+        vcpu = VcpuState()
+        vcpu.load_bytes("rax", b"\x01\x02\x03\x04\x05\x06\x07\x08")
+        assert vcpu.dump()["rax"] == 0x0102030405060708
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(XenError):
+            VcpuState().load_bytes("xmm0", b"\x00")
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(XenError):
+            VcpuState().load_bytes("rax", b"\x00" * 9)
+
+
+class TestScheduler:
+    def test_round_robin_with_equal_weights(self):
+        sched = CreditScheduler()
+        for domid in (1, 2, 3):
+            sched.add(domid)
+        picks = []
+        for _ in range(6):
+            domid = sched.pick_next()
+            picks.append(domid)
+            sched.account(domid, 10_000)
+        # Every vCPU runs twice over six slots.
+        assert sorted(picks) == [1, 1, 2, 2, 3, 3]
+
+    def test_weighted_shares(self):
+        sched = CreditScheduler()
+        sched.add(1, weight=512)
+        sched.add(2, weight=256)
+        runs = {1: 0, 2: 0}
+        for _ in range(60):
+            domid = sched.pick_next()
+            runs[domid] += 1
+            sched.account(domid, 30_000)
+        assert runs[1] > runs[2]
+        assert runs[1] / runs[2] == pytest.approx(2.0, rel=0.35)
+
+    def test_context_switches_counted(self):
+        sched = CreditScheduler()
+        sched.add(1)
+        sched.add(2)
+        for _ in range(4):
+            sched.account(sched.pick_next(), 30_000)
+        assert sched.context_switches >= 2
+
+    def test_duplicate_add_rejected(self):
+        sched = CreditScheduler()
+        sched.add(1)
+        with pytest.raises(XenError):
+            sched.add(1)
+
+    def test_empty_pick_rejected(self):
+        with pytest.raises(XenError):
+            CreditScheduler().pick_next()
+
+    def test_stats_track_runtime(self):
+        sched = CreditScheduler()
+        sched.add(1)
+        sched.account(sched.pick_next(), 12_345)
+        assert sched.stats()[1].total_us == 12_345
+
+
+class TestHypervisor:
+    def test_boot_builds_dom0(self, xen):
+        assert xen.dom0.domid == DOM0_ID
+        assert xen.dom0.privileged
+        assert xen.dom0.state == DomainState.RUNNING
+
+    def test_create_domain(self, xen):
+        domain = xen.create_domain("guest", b"kernel")
+        assert domain.domid > 0
+        assert not domain.privileged
+        assert domain.state == DomainState.RUNNING
+        assert xen.store.read(0, f"/local/domain/{domain.domid}/name",
+                              privileged=True) == "guest"
+
+    def test_duplicate_name_rejected(self, xen):
+        xen.create_domain("dup", b"k")
+        with pytest.raises(XenError):
+            xen.create_domain("dup", b"k")
+
+    def test_destroy_frees_memory_and_store(self, xen):
+        domain = xen.create_domain("victim", b"k")
+        frames = list(domain.memory.frames)
+        xen.destroy_domain(domain.domid)
+        assert domain.state == DomainState.DEAD
+        assert xen.memory.frames_owned_by(domain.domid) == []
+        assert not xen.store.exists(f"/local/domain/{domain.domid}/name")
+
+    def test_cannot_destroy_dom0(self, xen):
+        with pytest.raises(XenError):
+            xen.destroy_domain(DOM0_ID)
+
+    def test_pause_unpause(self, xen):
+        domain = xen.create_domain("p", b"k")
+        xen.pause_domain(domain.domid)
+        assert domain.state == DomainState.PAUSED
+        xen.unpause_domain(domain.domid)
+        assert domain.state == DomainState.RUNNING
+
+    def test_lookup_by_name(self, xen):
+        domain = xen.create_domain("findme", b"k")
+        assert xen.domain_by_name("findme") is domain
+        with pytest.raises(DomainNotFound):
+            xen.domain_by_name("ghost")
+
+    def test_unknown_domid(self, xen):
+        with pytest.raises(DomainNotFound):
+            xen.domain(999)
+
+
+class TestHypercalls:
+    def test_unprivileged_domctl_blocked(self, xen):
+        guest = xen.create_domain("g", b"k")
+        hc = HypercallInterface(xen, guest.domid)
+        with pytest.raises(XenError, match="IS_PRIV"):
+            hc.create_domain("evil", b"k")
+        with pytest.raises(XenError):
+            hc.destroy_domain(guest.domid)
+        with pytest.raises(XenError):
+            hc.dump_vcpu(0)
+
+    def test_dump_memory_covers_owned_frames(self, xen):
+        guest = xen.create_domain("g", b"k")
+        guest.memory.write(0, b"marker-bytes")
+        extra = xen.memory.allocate(guest.domid, 1)
+        xen.memory.write(guest.domid, extra[0], 0, b"heap-grown")
+        image = HypercallInterface(xen, 0).dump_domain_memory(guest.domid)
+        joined = b"".join(image.values())
+        assert b"marker-bytes" in joined and b"heap-grown" in joined
+
+    def test_dump_excludes_protected(self, xen):
+        guest = xen.create_domain("g", b"k")
+        guest.memory.write(0, b"hide-me")
+        guest.memory.set_protected(True)
+        image = HypercallInterface(xen, 0).dump_domain_memory(guest.domid)
+        assert b"hide-me" not in b"".join(image.values())
+
+    def test_xenstore_via_hypercalls(self, xen):
+        guest = xen.create_domain("g", b"k")
+        hc = HypercallInterface(xen, guest.domid)
+        hc.xenstore_write(f"/local/domain/{guest.domid}/data", "42")
+        assert hc.xenstore_read(f"/local/domain/{guest.domid}/data") == "42"
