@@ -20,6 +20,7 @@ from repro.core.sealing import StateSealer
 from repro.harness.builder import GuestHandle, Platform, SRK_AUTH
 from repro.tpm.state import TpmState
 from repro.util.errors import MarshalError, SealingError
+from repro.vtpm.storage import latest_raw_payload
 
 
 @dataclass
@@ -102,7 +103,9 @@ class ForeignRestoreAttack:
         manager.save_all()
         victim = manager.instance(victim_instance_id)
         loot = manager.storage.disk.raw_contents()
-        state_file = loot.get(f"vtpm-state-{victim.vm_uuid}")
+        # Strip the crash-consistency generation frame — a thief reads the
+        # newest complete payload straight off the stolen medium.
+        state_file = latest_raw_payload(loot, victim.vm_uuid)
         if state_file is None:
             return False, "no state file on disk for the victim"
         # Direct rebuild: works iff the file is cleartext TPM state.

@@ -56,6 +56,9 @@ class Monitor:
     def on_instance_destroyed(self, instance_id: int) -> None:
         """Hook: an instance disappeared."""
 
+    def on_fault(self, instance_id: int, exc: Exception) -> None:
+        """Hook: a subsystem fault surfaced as a degraded response."""
+
 
 class BaselineMonitor(Monitor):
     """Stock Xen vTPM behaviour: no checks, no charges, allow everything."""
@@ -167,6 +170,19 @@ class AccessControlMonitor(Monitor):
         return AuthorizationResult(
             allowed=True, subject=subject, operation=operation, reason=reason
         )
+
+    def on_fault(self, instance_id: int, exc: Exception) -> None:
+        """A fault burned through the retry budget (or was a hard failure)
+        and degraded into a ``TPM_FAIL`` response — chain it into the audit
+        log so operators can distinguish chaos from attack."""
+        if self.config.audit:
+            self.audit.append(
+                subject="manager",
+                instance=instance_id,
+                operation="FAULT-DEGRADED",
+                allowed=False,
+                reason=str(exc),
+            )
 
     def _deny(
         self, subject: str, instance_id: int, operation: str, reason: str

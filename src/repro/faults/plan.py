@@ -1,0 +1,159 @@
+"""Fault plans: which faults fire, where, and when.
+
+A :class:`FaultPlan` is an immutable, seedable description of the chaos a
+run should endure — a list of :class:`FaultSpec` entries, each naming a
+fault *kind*, the hook *site* it attacks, and a deterministic schedule
+(every Nth call, explicit call indices, or a probability drawn from the
+injector's forked DRBG).  The plan itself holds no mutable state; the
+:class:`~repro.faults.injector.FaultInjector` tracks call counts and fire
+counts so the same plan can drive many runs.
+
+Schedules are expressed in *site call counts* and, optionally, virtual
+time windows — both deterministic under the simulated clock, so a seeded
+plan reproduces the identical fault sequence on every run.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.util.errors import SimulationError
+
+
+class FaultKind(Enum):
+    """Every fault the injector knows how to deliver."""
+
+    #: the shared-page transfer stalls; the kick arrives late
+    RING_STALL = "ring-stall"
+    #: the event-channel notification is lost; the peer never wakes
+    RING_DROP_NOTIFY = "ring-drop-notify"
+    #: a state write is cut short mid-blob (crash or media error)
+    STORAGE_TORN_WRITE = "storage-torn-write"
+    #: a read returns flipped bits (transient controller/DMA error)
+    STORAGE_READ_CORRUPT = "storage-read-corrupt"
+    #: the manager's disk is full; the write is refused
+    STORAGE_ENOSPC = "storage-enospc"
+    #: the (hardware or virtual) TPM fails one command transiently
+    DEVICE_TRANSIENT = "device-transient"
+    #: the migration network path drops the package mid-transfer
+    MIGRATION_NET_DROP = "migration-net-drop"
+    #: the destination platform crashes after issuing its offer
+    MIGRATION_DEST_CRASH = "migration-dest-crash"
+
+
+#: which hook site each kind is allowed to attack (sanity-checks plans)
+KIND_SITES: Dict[FaultKind, str] = {
+    FaultKind.RING_STALL: "xen.ring.notify",
+    FaultKind.RING_DROP_NOTIFY: "xen.ring.notify",
+    FaultKind.STORAGE_TORN_WRITE: "vtpm.storage.write",
+    FaultKind.STORAGE_READ_CORRUPT: "vtpm.storage.read",
+    FaultKind.STORAGE_ENOSPC: "vtpm.storage.write",
+    FaultKind.DEVICE_TRANSIENT: "tpm.device.execute",
+    FaultKind.MIGRATION_NET_DROP: "vtpm.migration.net",
+    FaultKind.MIGRATION_DEST_CRASH: "vtpm.migration.dest",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Exactly one of ``every`` / ``at`` / ``probability`` selects the
+    schedule, evaluated against the 0-based per-site call index:
+
+    * ``every=N`` (with ``offset``) — fire when ``(idx - offset) % N == 0``
+      and ``idx >= offset``;
+    * ``at=(i, j, ...)`` — fire at exactly those call indices;
+    * ``probability=p`` — fire when a DRBG draw falls below ``p``.
+
+    ``match`` narrows the spec to hook calls whose context values glob-match
+    (e.g. ``{"device": "vtpm*"}`` spares the hardware TPM).  ``transient``
+    marks the fault as clearable by retry; hard-crash specs set it False so
+    the error propagates to the harness.  ``after_us``/``until_us`` bound
+    the virtual-time window in which the spec is live.
+    """
+
+    kind: FaultKind
+    every: Optional[int] = None
+    offset: int = 0
+    at: Tuple[int, ...] = ()
+    probability: Optional[float] = None
+    max_fires: Optional[int] = None
+    transient: bool = True
+    match: Tuple[Tuple[str, str], ...] = ()
+    after_us: float = 0.0
+    until_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        chosen = sum(
+            1 for s in (self.every, self.at or None, self.probability) if s
+        )
+        if chosen != 1:
+            raise SimulationError(
+                f"{self.kind.value}: exactly one of every/at/probability required"
+            )
+        if self.every is not None and self.every <= 0:
+            raise SimulationError(f"{self.kind.value}: every must be positive")
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise SimulationError(
+                f"{self.kind.value}: probability must be in (0, 1]"
+            )
+
+    @property
+    def site(self) -> str:
+        return KIND_SITES[self.kind]
+
+    def matches_context(self, ctx: Dict[str, object]) -> bool:
+        return all(
+            fnmatch.fnmatchcase(str(ctx.get(key, "")), pattern)
+            for key, pattern in self.match
+        )
+
+    def due_at(self, index: int) -> Optional[bool]:
+        """Schedule decision for a call index; None means 'ask the DRBG'."""
+        if self.at:
+            return index in self.at
+        if self.every is not None:
+            return index >= self.offset and (index - self.offset) % self.every == 0
+        return None  # probabilistic: the injector draws
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable bundle of fault specs plus the seed that drives them."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        by_site: Dict[str, list] = {}
+        for spec in self.specs:
+            by_site.setdefault(spec.site, []).append(spec)
+        object.__setattr__(self, "_by_site", by_site)
+
+    def for_site(self, site: str) -> Sequence[FaultSpec]:
+        return self._by_site.get(site, ())
+
+    def kinds(self) -> Tuple[FaultKind, ...]:
+        return tuple(dict.fromkeys(spec.kind for spec in self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+
+def spec(kind: FaultKind, **kwargs) -> FaultSpec:
+    """Terse spec constructor: ``spec(FaultKind.RING_STALL, every=40)``.
+
+    ``match`` may be passed as a dict; it is frozen into sorted tuples so
+    specs stay hashable.
+    """
+    match = kwargs.pop("match", None)
+    if match:
+        kwargs["match"] = tuple(sorted((k, v) for k, v in dict(match).items()))
+    if "at" in kwargs:
+        kwargs["at"] = tuple(kwargs["at"])
+    return FaultSpec(kind=kind, **kwargs)

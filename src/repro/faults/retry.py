@@ -1,0 +1,63 @@
+"""Bounded retry-with-backoff, paid for in virtual time.
+
+The recovery layers (back-end command forwarding, storage persistence,
+instance restore, the migration driver) all share this loop: attempt the
+operation, catch *transient* injected faults, charge an exponentially
+growing backoff against the virtual clock, and try again.  Non-transient
+faults — the injector's model of a hard crash — propagate untouched, and
+a fault that survives every attempt surfaces as
+:class:`~repro.util.errors.RetryExhausted`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.faults.injector import note_recovery, note_retry
+from repro.sim.timing import charge, get_context
+from repro.util.errors import FaultInjected, RetryExhausted
+
+T = TypeVar("T")
+
+#: default attempt budget for transient faults
+DEFAULT_ATTEMPTS = 4
+#: first backoff step; doubles per retry (virtual microseconds)
+DEFAULT_BACKOFF_US = 250.0
+
+
+def is_transient(exc: Exception) -> bool:
+    return isinstance(exc, FaultInjected) and exc.transient
+
+
+def with_retry(
+    attempt: Callable[[], T],
+    *,
+    site: str,
+    attempts: int = DEFAULT_ATTEMPTS,
+    base_backoff_us: float = DEFAULT_BACKOFF_US,
+    retry_on: Tuple[Type[Exception], ...] = (FaultInjected,),
+) -> T:
+    """Run ``attempt`` with bounded backoff on transient injected faults.
+
+    Each retry charges ``fault.retry.backoff`` for ``base_backoff_us * 2^i``
+    virtual microseconds, so recovery latency is measurable on the same
+    clock as everything else.  A successful retry is recorded as one
+    recovery (with the virtual time the whole episode took).
+    """
+    start_us = get_context().clock.now_us
+    last: Exception | None = None
+    for i in range(attempts):
+        try:
+            result = attempt()
+        except retry_on as exc:
+            if not is_transient(exc):
+                raise
+            last = exc
+            note_retry(site)
+            charge("fault.retry.backoff", base_backoff_us * (2.0 ** i))
+            continue
+        if last is not None:
+            note_recovery(site, get_context().clock.now_us - start_us)
+        return result
+    assert last is not None
+    raise RetryExhausted(site, attempts, last)

@@ -257,7 +257,7 @@ class Platform:
 
     # -- crash recovery ----------------------------------------------------------
 
-    def restart_manager(self) -> int:
+    def restart_manager(self, clean: bool = True) -> int:
         """Simulate a vTPM-manager daemon crash and restart.
 
         Every instance's volatile object is lost; the new daemon reloads
@@ -265,10 +265,16 @@ class Platform:
         sealer in improved mode) and the back-ends reconnect.  Returns how
         many instances were recovered.
 
+        ``clean=True`` models an orderly shutdown (state flushed first);
+        ``clean=False`` models a hard crash — whatever the last successful
+        save committed is what the restart recovers, which is exactly what
+        the generation-stamped storage guarantees exists.
+
         Fails closed: if the sealer cannot unlock (platform PCRs moved),
         the restore raises and no plaintext state ever materialises.
         """
-        self.manager.save_all()
+        if clean:
+            self.manager.save_all()
         if self.sealer is not None:
             # The daemon's in-memory root dies with the process...
             self.sealer.lock()

@@ -1,0 +1,306 @@
+"""Chaos workload: a seeded 1000-command run that survives injected faults.
+
+This is the robustness counterpart of the performance experiments: two
+platforms, two guests, a deterministic command mix, periodic checkpoints,
+one live migration and one hard manager crash — all driven under a
+:class:`~repro.faults.plan.FaultPlan` that stalls rings, drops kicks,
+tears state writes, fills the disk, corrupts reads, fails the device and
+interrupts the migration.  The claim the demo checks is *zero state
+loss*: the PCR and NV contents of every guest after the chaotic run are
+byte-identical to a fault-free run of the same seed, and the same seed
+reproduces the identical fault sequence twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import AccessMode
+from repro.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    injector_scope,
+    spec,
+    with_retry,
+)
+from repro.harness.builder import Platform, build_platform, fresh_timing_context
+from repro.metrics.recorder import LatencyRecorder
+from repro.sim.timing import get_context
+from repro.tpm.client import TpmClient
+from repro.tpm.constants import NUM_PCRS
+from repro.tpm.nvram import NV_PER_AUTHWRITE
+from repro.vtpm.migration import migrate_with_recovery
+
+#: the demo's fixed shape: deterministic, and long enough that every fault
+#: kind in the default plan gets its chance to fire
+DEFAULT_COMMANDS = 1_000
+CHECKPOINT_EVERY = 100
+MIGRATE_AT = 400
+CRASH_AT = 700
+
+OWNER_AUTH = b"chaos-owner-auth!!!!"
+NV_AUTH = b"chaos-nv-area-auth!!"
+NV_INDEX = 0x1100
+NV_SIZE = 64
+
+
+def default_chaos_plan(seed: int = 0) -> FaultPlan:
+    """Every fault kind the injector knows, tuned to the demo workload.
+
+    Schedules are call-count based, so they are deterministic for a given
+    workload regardless of the seed; the seed only drives probabilistic
+    specs (of which this plan has none) — it is kept in the plan so the
+    report names the full reproduction recipe.
+    """
+    return FaultPlan(
+        name="default-chaos",
+        seed=seed,
+        specs=(
+            # Ring path: periodic stalls plus a few lost kicks.
+            spec(FaultKind.RING_STALL, every=97),
+            spec(FaultKind.RING_DROP_NOTIFY, every=211, max_fires=3),
+            # Device path: transient bus errors on virtual TPMs only.
+            spec(FaultKind.DEVICE_TRANSIENT, every=53, match={"device": "vtpm*"}),
+            # Storage path: torn checkpoint writes, one full disk, one
+            # corrupt read during crash recovery.
+            spec(FaultKind.STORAGE_TORN_WRITE, every=5),
+            spec(FaultKind.STORAGE_ENOSPC, at=(7,)),
+            spec(FaultKind.STORAGE_READ_CORRUPT, at=(0,)),
+            # Migration path: first transfer lost on the wire, second one
+            # reaches a destination that immediately crashes.
+            spec(FaultKind.MIGRATION_NET_DROP, at=(0,)),
+            spec(FaultKind.MIGRATION_DEST_CRASH, at=(0,)),
+        ),
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, for comparison and display."""
+
+    seed: int
+    commands: int
+    plan_name: str
+    digests: Dict[str, str]
+    fault_counts: Dict[str, int]
+    total_faults: int
+    retries: int
+    recoveries: int
+    event_signature: Tuple[Tuple[str, str, int], ...]
+    audit_fault_records: int
+    metrics_counts: Dict[str, int]
+    mean_recovery_us: float
+    elapsed_virtual_us: float
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"plan={self.plan_name} seed={self.seed} commands={self.commands}",
+            f"faults injected: {self.total_faults} "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(self.fault_counts.items())) or 'none'})",
+            f"retries={self.retries} recoveries={self.recoveries} "
+            f"mean recovery latency={self.mean_recovery_us:.1f} us",
+            f"audit fault records={self.audit_fault_records} "
+            f"virtual time={self.elapsed_virtual_us / 1000.0:.2f} ms",
+        ]
+        for name, digest in sorted(self.digests.items()):
+            lines.append(f"state[{name}] = {digest[:16]}…")
+        return lines
+
+
+def _direct_transport(manager, domid: int, instance_id: int):
+    """A backend-equivalent transport for a migrated guest: same bounded
+    retry on transient faults, same TPM_FAIL degradation on exhaustion."""
+
+    def transport(wire: bytes) -> bytes:
+        from repro.util.errors import RetryExhausted
+
+        try:
+            return with_retry(
+                lambda: manager.handle_command(domid, instance_id, wire),
+                site="vtpm.backend.forward",
+            )
+        except RetryExhausted as exc:
+            return manager.fault_response(instance_id, exc)
+
+    return transport
+
+
+def _state_digest(instance) -> str:
+    """PCR + NV digest of one instance — the 'no state loss' yardstick."""
+    state = instance.device.state
+    h = hashlib.sha256()
+    for index in range(NUM_PCRS):
+        h.update(state.pcrs.read(index))
+    for area in sorted(state.nv.areas(), key=lambda a: a.index):
+        h.update(struct.pack(">II", area.index, len(area.data)))
+        h.update(area.data)
+    return h.hexdigest()
+
+
+def run_chaos_workload(
+    seed: int = 2026,
+    commands: int = DEFAULT_COMMANDS,
+    plan: Optional[FaultPlan] = None,
+    mode: AccessMode = AccessMode.IMPROVED,
+) -> ChaosReport:
+    """One full chaos run; ``plan=None`` means the fault-free control run.
+
+    The workload script — command mix, checkpoint points, the migration
+    at :data:`MIGRATE_AT`, the hard manager crash at :data:`CRASH_AT` —
+    is identical with and without faults; only the injected chaos
+    differs.  That is what makes the digest comparison meaningful.
+    """
+    fresh_timing_context()
+    platform_a = build_platform(mode, seed=seed, name="chaos-a")
+    platform_b = build_platform(mode, seed=seed + 1, name="chaos-b")
+
+    # -- setup (outside the injector's reach) --------------------------------------
+    anchor = platform_a.add_guest("anchor")
+    mover = platform_a.add_guest("mover")
+    for guest in (anchor, mover):
+        ek = guest.client.read_pubek()
+        guest.client.take_ownership(OWNER_AUTH, b"s" * 20, ek)
+        guest.client.nv_define(
+            OWNER_AUTH, NV_INDEX, NV_SIZE, NV_PER_AUTHWRITE, NV_AUTH
+        )
+
+    workload_rng = platform_a.rng.fork("chaos-workload")
+    metrics = LatencyRecorder()
+    injector = FaultInjector(
+        plan if plan is not None else FaultPlan(name="fault-free", seed=seed),
+        audit=platform_a.audit,
+        metrics=metrics,
+    )
+
+    clients: Dict[str, TpmClient] = {
+        "anchor": anchor.client,
+        "mover": mover.client,
+    }
+    mover_home: Tuple[Platform, str] = (platform_a, mover.domain.uuid)
+    start_us = get_context().clock.now_us
+
+    with injector_scope(injector):
+        for step in range(1, commands + 1):
+            name = "anchor" if workload_rng.randint_below(2) == 0 else "mover"
+            client = clients[name]
+            op = workload_rng.randint_below(100)
+            if op < 50:
+                client.extend(workload_rng.randint_below(16),
+                              workload_rng.bytes(20))
+            elif op < 75:
+                client.get_random(16)
+            elif op < 90:
+                client.pcr_read(workload_rng.randint_below(16))
+            else:
+                client.nv_write(NV_AUTH, NV_INDEX,
+                                workload_rng.randint_below(NV_SIZE - 32),
+                                workload_rng.bytes(32))
+
+            if step % CHECKPOINT_EVERY == 0:
+                platform_a.manager.save_all()
+
+            if step == MIGRATE_AT:
+                # Live-migrate 'mover' to platform B; the injector may cut
+                # the wire or crash the destination — the driver recovers.
+                handle = platform_a.guests.pop("mover")
+                target_vm = platform_b.xen.create_domain(
+                    handle.domain.name,
+                    kernel_image=handle.domain.kernel_image,
+                    config=dict(handle.domain.config),
+                )
+                instance = migrate_with_recovery(
+                    platform_a.migration, platform_b.migration,
+                    handle.domain.uuid, target_vm,
+                    sealed=mode is AccessMode.IMPROVED,
+                )
+                handle.frontend.close()
+                if mode is AccessMode.IMPROVED:
+                    platform_a.identities.forget(handle.domain.domid)
+                platform_a.xen.destroy_domain(handle.domain.domid)
+                clients["mover"] = TpmClient(
+                    _direct_transport(
+                        platform_b.manager, target_vm.domid,
+                        instance.instance_id,
+                    ),
+                    platform_b.rng.fork("chaos-mover"),
+                )
+                mover_home = (platform_b, target_vm.uuid)
+
+            if step == CRASH_AT:
+                # Hard manager crash right after a command burst: the new
+                # daemon recovers the last committed checkpoint — with the
+                # injector free to corrupt the recovery reads.
+                platform_a.manager.save_all()
+                platform_a.restart_manager(clean=False)
+
+        digests = {
+            "anchor": _state_digest(
+                platform_a.manager.instance_for_vm(anchor.domain.uuid)
+            ),
+            "mover": _state_digest(
+                mover_home[0].manager.instance_for_vm(mover_home[1])
+            ),
+        }
+
+    recovery = metrics.samples("fault.recovery")
+    return ChaosReport(
+        seed=seed,
+        commands=commands,
+        plan_name=injector.plan.name,
+        digests=digests,
+        fault_counts=dict(injector.fault_counts),
+        total_faults=len(injector.events),
+        retries=injector.retries,
+        recoveries=injector.recoveries,
+        event_signature=injector.event_signature(),
+        audit_fault_records=sum(
+            1 for r in platform_a.audit.records()
+            if r.operation.startswith("FAULT")
+        ),
+        metrics_counts={
+            name: len(metrics.samples(name)) for name in metrics.names()
+        },
+        mean_recovery_us=(sum(recovery) / len(recovery)) if recovery else 0.0,
+        elapsed_virtual_us=get_context().clock.now_us - start_us,
+    )
+
+
+def run_chaos_demo(
+    seed: int = 2026,
+    commands: int = DEFAULT_COMMANDS,
+    plan: Optional[FaultPlan] = None,
+) -> Dict[str, object]:
+    """The acceptance demo: fault-free vs chaotic vs chaotic-again.
+
+    Returns a result dict and raises :class:`AssertionError` if any of the
+    three robustness claims fails — state loss, fault starvation, or
+    non-determinism.
+    """
+    chaos_plan = plan if plan is not None else default_chaos_plan(seed)
+    clean = run_chaos_workload(seed=seed, commands=commands, plan=None)
+    chaotic = run_chaos_workload(seed=seed, commands=commands, plan=chaos_plan)
+    replay = run_chaos_workload(seed=seed, commands=commands, plan=chaos_plan)
+
+    assert clean.total_faults == 0, "control run must be fault-free"
+    assert len(chaotic.fault_counts) >= 4, (
+        f"chaos plan only exercised {sorted(chaotic.fault_counts)}"
+    )
+    assert chaotic.digests == clean.digests, (
+        "state loss: post-recovery PCR/NV diverged from the fault-free run"
+    )
+    assert chaotic.event_signature == replay.event_signature, (
+        "non-determinism: same seed produced a different fault sequence"
+    )
+    assert chaotic.digests == replay.digests
+    assert chaotic.audit_fault_records >= chaotic.total_faults
+    return {
+        "clean": clean,
+        "chaotic": chaotic,
+        "replay": replay,
+        "state_preserved": True,
+        "deterministic": True,
+    }

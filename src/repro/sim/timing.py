@@ -53,6 +53,13 @@ _DEFAULT_COSTS: Dict[str, Tuple[float, float]] = {
     "vtpm.storage.write": (7800.0, 0.00055),  # HDD-era flush + per byte
     "vtpm.storage.read": (5200.0, 0.00045),
     "vtpm.migration.net": (120.0, 0.0105),    # per byte on GbE w/ setup
+    # -- fault injection & recovery -----------------------------------------
+    "fault.ring.stall": (4_000.0, 0.0),      # late kick: scheduler-tick class delay
+    "fault.ring.timeout": (10_000.0, 0.0),   # tpmfront waits this long before re-kick
+    "fault.retry.backoff": (0.0, 1.0),       # units = microseconds of backoff slept
+    "fault.storage.torn": (1_100.0, 0.0),    # partial flush before the cut
+    "fault.device.transient": (55.0, 0.0),   # aborted bus transaction
+    "vtpm.migration.retry": (6_500.0, 0.0),  # tear down + rebuild one transfer attempt
     # -- access-control layer (the contribution) ----------------------------
     "ac.identity.check": (0.35, 0.0),      # cached measurement compare
     "ac.identity.measure": (2.0, 0.0),     # plus explicit hash charges

@@ -9,6 +9,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.crypto.random_source import RandomSource
+from repro.faults import FaultKind, fire
+from repro.sim.timing import charge
 from repro.tpm.constants import TPM_ST_CLEAR, TPM_ST_STATE
 from repro.tpm.dispatch import TpmExecutor
 from repro.tpm.marshal import build_command
@@ -48,7 +50,17 @@ class TpmDevice:
             raise TpmError(parsed.return_code, "TPM_Startup failed during power_on")
 
     def execute(self, wire: bytes, locality: int = 0) -> bytes:
-        """Run one framed command; the device never raises for TPM errors."""
+        """Run one framed command; the device never raises for TPM errors.
+
+        The fault injector can abort the command *before* it reaches the
+        executor — a transient bus/LPC error.  The command has no effect
+        on TPM state, so the retry layers above can safely resend the same
+        wire bytes.
+        """
+        event = fire("tpm.device.execute", device=self.name)
+        if event is not None and event.kind is FaultKind.DEVICE_TRANSIENT:
+            charge("fault.device.transient")
+            event.raise_fault()
         if not self.powered:
             # An unpowered part does not answer at all; model as IO error frame.
             from repro.tpm.constants import TPM_IOERROR

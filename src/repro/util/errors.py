@@ -8,6 +8,29 @@ assert on the exact error the real device would return.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "MarshalError",
+    "CryptoError",
+    "TpmError",
+    "XenError",
+    "DomainNotFound",
+    "PageFault",
+    "GrantError",
+    "EventChannelError",
+    "XenStoreError",
+    "RingError",
+    "VtpmError",
+    "MigrationError",
+    "AccessControlError",
+    "AccessDenied",
+    "IdentityError",
+    "SealingError",
+    "FaultInjected",
+    "RetryExhausted",
+]
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -105,3 +128,50 @@ class IdentityError(AccessControlError):
 
 class SealingError(AccessControlError):
     """Sealed vTPM state could not be unsealed (wrong platform state or key)."""
+
+
+class FaultInjected(ReproError):
+    """A scheduled fault from the deterministic injector fired.
+
+    Attributes
+    ----------
+    kind:
+        The fault kind name (see :class:`repro.faults.FaultKind`).
+    site:
+        The hook point that fired (e.g. ``"vtpm.storage.write"``).
+    transient:
+        ``True`` for faults a bounded retry is expected to clear (the
+        recovery layers catch these); ``False`` models a hard crash that
+        must propagate to the harness.
+    """
+
+    def __init__(
+        self, kind: str, site: str, transient: bool = True, detail: str = ""
+    ) -> None:
+        super().__init__(
+            f"injected fault {kind} at {site}" + (f": {detail}" if detail else "")
+        )
+        self.kind = kind
+        self.site = site
+        self.transient = transient
+        self.detail = detail
+
+
+class RetryExhausted(ReproError):
+    """Bounded retry-with-backoff gave up on a transient fault.
+
+    Attributes
+    ----------
+    site:
+        The operation that kept failing.
+    attempts:
+        How many attempts were made before giving up.
+    last:
+        The final exception.
+    """
+
+    def __init__(self, site: str, attempts: int, last: Exception) -> None:
+        super().__init__(f"{site} still failing after {attempts} attempts: {last}")
+        self.site = site
+        self.attempts = attempts
+        self.last = last

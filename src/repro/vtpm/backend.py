@@ -10,7 +10,8 @@ Dom0 would do.
 
 from __future__ import annotations
 
-from repro.util.errors import VtpmError
+from repro.faults import with_retry
+from repro.util.errors import RetryExhausted, VtpmError
 from repro.vtpm.frontend import VtpmFrontend
 from repro.vtpm.manager import VtpmManager
 from repro.xen.hypervisor import Xen
@@ -52,11 +53,23 @@ class VtpmBackend:
         ``front_domid`` comes from the ring itself (hypervisor ground
         truth); ``instance_id`` is backend configuration (attacker-editable
         in the baseline threat model).
+
+        Transient faults below the manager (an aborted device transaction)
+        abort the command *before* it touches TPM state, so the back-end
+        resends the identical wire bytes with bounded virtual-time backoff
+        — the real driver's interrupt-retry path.  A fault that outlives
+        the budget degrades into a ``TPM_FAIL`` frame, never a dead ring.
         """
-        return self.manager.handle_command(
-            self.front_domid, self.instance_id, wire,
-            locality=self.frontend.locality,
-        )
+        try:
+            return with_retry(
+                lambda: self.manager.handle_command(
+                    self.front_domid, self.instance_id, wire,
+                    locality=self.frontend.locality,
+                ),
+                site="vtpm.backend.forward",
+            )
+        except RetryExhausted as exc:
+            return self.manager.fault_response(self.instance_id, exc)
 
     def rebind(self, new_instance_id: int) -> None:
         """Point this connection at a different instance (the attack knob)."""

@@ -16,10 +16,11 @@ from repro.core.config import AccessControlConfig, AccessMode
 from repro.core.identity import IdentityRegistry
 from repro.core.monitor import AccessControlMonitor, BaselineMonitor, Monitor
 from repro.core.protection import MemoryProtector
+from repro.faults import with_retry
 from repro.sim.timing import charge
 from repro.tpm import marshal
-from repro.tpm.constants import TPM_AUTHFAIL
-from repro.util.errors import VtpmError
+from repro.tpm.constants import TPM_AUTHFAIL, TPM_FAIL
+from repro.util.errors import FaultInjected, RetryExhausted, VtpmError
 from repro.vtpm.instance import VtpmInstance
 from repro.vtpm.storage import VtpmStorage
 from repro.xen.domain import Domain
@@ -58,6 +59,7 @@ class VtpmManager:
         self._ids = itertools.count(1)
         self.commands_dispatched = 0
         self.commands_denied = 0
+        self.faults_surfaced = 0
 
     # -- instance lifecycle ------------------------------------------------------
 
@@ -169,9 +171,20 @@ class VtpmManager:
         self._load_working_registers(instance)
         try:
             return instance.execute(wire, locality=locality)
+        except FaultInjected as exc:
+            if exc.transient:
+                raise  # the back-end's bounded retry resends the same wire
+            return self.fault_response(instance_id, exc)
         finally:
             if self.protector is not None and self.protector.enabled:
                 self._scrub_working_registers()
+
+    def fault_response(self, instance_id: int, exc: Exception) -> bytes:
+        """Graceful degradation: a subsystem failure becomes a ``TPM_FAIL``
+        response frame plus an audit event — never a dead manager."""
+        self.faults_surfaced += 1
+        self.monitor.on_fault(instance_id, exc)
+        return marshal.build_response(TPM_FAIL)
 
     # -- CPU-residency modelling ---------------------------------------------------
 
@@ -225,9 +238,14 @@ class VtpmManager:
         instance.bound_identity_hex = identity_hex
         from repro.tpm.device import TpmDevice
 
-        instance.device = TpmDevice.from_state_blob(
-            blob, rng=self._rng.fork(f"vtpm-restore-{vm.uuid}"),
-            name=f"vtpm{instance.instance_id}",
+        # Restore is recovery code: it must itself survive transient device
+        # faults (the resumed TPM runs a Startup command on power-on).
+        instance.device = with_retry(
+            lambda: TpmDevice.from_state_blob(
+                blob, rng=self._rng.fork(f"vtpm-restore-{vm.uuid}"),
+                name=f"vtpm{instance.instance_id}",
+            ),
+            site="vtpm.manager.restore",
         )
         instance.commands_handled = 0
         frames = self.xen.memory.allocate(

@@ -24,11 +24,12 @@ from typing import Dict, Optional
 from repro.crypto.random_source import RandomSource
 from repro.crypto.rsa import RsaPublicKey
 from repro.crypto.symmetric import EncryptedBlob, SymmetricKey
-from repro.sim.timing import charge
+from repro.faults import FaultKind, fire, note_recovery, note_retry
+from repro.sim.timing import charge, get_context
 from repro.tpm.client import TpmClient
 from repro.tpm.constants import TPM_KEY_BIND, TPM_KH_SRK
 from repro.util.bytesio import ByteReader, ByteWriter
-from repro.util.errors import MigrationError
+from repro.util.errors import FaultInjected, MigrationError, RetryExhausted
 from repro.vtpm.manager import VtpmManager
 from repro.xen.domain import Domain
 
@@ -60,6 +61,22 @@ class MigrationPackage:
         return len(self.payload)
 
 
+@dataclass
+class ExportTransaction:
+    """A migration in flight, seen from the source.
+
+    The source keeps the instance alive (and on its books) until the
+    destination acknowledges a successful import — an interrupted
+    migration then *rolls back* to a working vTPM instead of destroying
+    the only copy of the guest's keys mid-wire.
+    """
+
+    txn_id: int
+    vm_uuid: str
+    instance_id: int
+    package: MigrationPackage
+
+
 class MigrationEndpoint:
     """Migration logic bolted onto one platform's vTPM manager."""
 
@@ -77,6 +94,8 @@ class MigrationEndpoint:
         self._offers: Dict[int, MigrationOffer] = {}
         self._next_offer = 1
         self._seen_nonces: set[bytes] = set()
+        self._pending: Dict[int, ExportTransaction] = {}
+        self._next_txn = 1
 
     # -- destination side -----------------------------------------------------------
 
@@ -101,10 +120,26 @@ class MigrationEndpoint:
         self._offers[offer.offer_id] = offer
         return offer
 
+    def cancel_offer(self, offer_id: int) -> None:
+        """Withdraw an unconsumed offer and release its bind key."""
+        offer = self._offers.pop(offer_id, None)
+        if offer is not None and self._hw is not None:
+            self._hw.evict_key(offer.bind_key_handle)
+
+    def crash(self) -> None:
+        """Model a destination crash: all in-memory offers are lost.
+
+        The seen-nonce set is deliberately *kept* — forgetting it on crash
+        would reopen the replay window the nonces exist to close.
+        """
+        for offer_id in list(self._offers):
+            self.cancel_offer(offer_id)
+
     # -- source side -------------------------------------------------------------------
 
-    def export_plaintext(self, vm_uuid: str) -> MigrationPackage:
-        """Stock protocol: raw state on the wire."""
+    def begin_export_plaintext(self, vm_uuid: str) -> ExportTransaction:
+        """Stock protocol: raw state on the wire; instance retained until
+        :meth:`commit_export`."""
         instance = self.manager.instance_for_vm(vm_uuid)
         state = instance.device.save_state_blob()
         w = ByteWriter()
@@ -113,11 +148,13 @@ class MigrationEndpoint:
         w.sized(state)
         payload = w.getvalue()
         charge("vtpm.migration.net", len(payload))
-        self.manager.destroy_instance(instance.instance_id, persist=False)
-        return MigrationPackage(payload=payload)
+        return self._open_txn(vm_uuid, instance.instance_id, payload)
 
-    def export_sealed(self, vm_uuid: str, offer: MigrationOffer) -> MigrationPackage:
-        """Improved protocol: session key bound to the destination TPM."""
+    def begin_export_sealed(
+        self, vm_uuid: str, offer: MigrationOffer
+    ) -> ExportTransaction:
+        """Improved protocol: session key bound to the destination TPM;
+        instance retained until :meth:`commit_export`."""
         instance = self.manager.instance_for_vm(vm_uuid)
         state = instance.device.save_state_blob()
         session_key = self._rng.bytes(SESSION_KEY_SIZE)
@@ -133,13 +170,63 @@ class MigrationEndpoint:
         w.sized(enc_state.serialize())
         payload = w.getvalue()
         charge("vtpm.migration.net", len(payload))
-        self.manager.destroy_instance(instance.instance_id, persist=False)
-        return MigrationPackage(payload=payload)
+        return self._open_txn(vm_uuid, instance.instance_id, payload)
+
+    def _open_txn(
+        self, vm_uuid: str, instance_id: int, payload: bytes
+    ) -> ExportTransaction:
+        txn = ExportTransaction(
+            txn_id=self._next_txn,
+            vm_uuid=vm_uuid,
+            instance_id=instance_id,
+            package=MigrationPackage(payload=payload),
+        )
+        self._next_txn += 1
+        self._pending[txn.txn_id] = txn
+        return txn
+
+    def commit_export(self, txn: ExportTransaction) -> None:
+        """Destination acked: the source copy may now be destroyed."""
+        if self._pending.pop(txn.txn_id, None) is None:
+            raise MigrationError(f"no pending export transaction {txn.txn_id}")
+        self.manager.destroy_instance(txn.instance_id, persist=False)
+
+    def abort_export(self, txn: ExportTransaction) -> None:
+        """Roll back an interrupted migration; the instance keeps serving."""
+        self._pending.pop(txn.txn_id, None)
+
+    @property
+    def pending_exports(self) -> int:
+        return len(self._pending)
+
+    # -- one-shot wrappers (non-transactional legacy surface) ----------------------
+
+    def export_plaintext(self, vm_uuid: str) -> MigrationPackage:
+        """Stock protocol, fire-and-forget: export and destroy in one step."""
+        txn = self.begin_export_plaintext(vm_uuid)
+        self.commit_export(txn)
+        return txn.package
+
+    def export_sealed(self, vm_uuid: str, offer: MigrationOffer) -> MigrationPackage:
+        """Improved protocol, fire-and-forget: export and destroy in one step."""
+        txn = self.begin_export_sealed(vm_uuid, offer)
+        self.commit_export(txn)
+        return txn.package
 
     # -- destination import ----------------------------------------------------------------
 
+    def _maybe_crash_on_import(self, target_vm: Domain) -> None:
+        """Fault hook: the destination host dies after receiving the
+        package but before instantiating — its in-memory offers are lost
+        and the source must roll back and renegotiate."""
+        event = fire("vtpm.migration.dest", vm=target_vm.uuid)
+        if event is not None and event.kind is FaultKind.MIGRATION_DEST_CRASH:
+            self.crash()
+            event.raise_fault()
+
     def import_plaintext(self, package: MigrationPackage, target_vm: Domain):
         """Accept a stock-protocol package."""
+        self._maybe_crash_on_import(target_vm)
         r = ByteReader(package.payload)
         if r.raw(8) != MAGIC_PLAIN:
             raise MigrationError("not a plaintext migration package")
@@ -152,6 +239,7 @@ class MigrationEndpoint:
         """Accept an improved-protocol package (nonce single-use, TPM-gated)."""
         if self._hw is None:
             raise MigrationError("improved migration needs a hardware TPM client")
+        self._maybe_crash_on_import(target_vm)
         r = ByteReader(package.payload)
         if r.raw(8) != MAGIC_SEALED:
             raise MigrationError("not a sealed migration package")
@@ -231,3 +319,70 @@ class MigrationEndpoint:
             )
         manager.monitor.on_instance_created(instance.instance_id, identity_hex or "")
         return instance
+
+
+#: transfer attempts before an interrupted migration is declared dead
+MIGRATION_ATTEMPTS = 4
+
+
+def migrate_with_recovery(
+    source: MigrationEndpoint,
+    destination: MigrationEndpoint,
+    vm_uuid: str,
+    target_vm: Domain,
+    sealed: bool = True,
+    attempts: int = MIGRATION_ATTEMPTS,
+):
+    """Drive one migration end-to-end, surviving injected interruptions.
+
+    Each attempt is a full transaction: (fresh offer if sealed) → export →
+    transfer → import → source commit.  The fault injector can drop the
+    package on the wire (``vtpm.migration.net``) or crash the destination
+    after it received it (``vtpm.migration.dest``); either way the source
+    *aborts* the transaction — the guest's vTPM keeps serving — pays the
+    retry cost in virtual time, and renegotiates from scratch (new offer,
+    new nonce, new session key; the single-use nonce rules out replaying
+    the interrupted attempt).  Returns the destination's new instance.
+    """
+    start_us = get_context().clock.now_us
+    interrupted = 0
+    last: Exception | None = None
+    for _attempt in range(attempts):
+        offer = destination.prepare_target() if sealed else None
+        txn = (
+            source.begin_export_sealed(vm_uuid, offer)
+            if sealed
+            else source.begin_export_plaintext(vm_uuid)
+        )
+        try:
+            event = fire("vtpm.migration.net", vm=vm_uuid, size=len(txn.package))
+            if event is not None and event.kind is FaultKind.MIGRATION_NET_DROP:
+                event.raise_fault()
+            instance = (
+                destination.import_sealed(txn.package, target_vm)
+                if sealed
+                else destination.import_plaintext(txn.package, target_vm)
+            )
+        except FaultInjected as exc:
+            if not exc.transient:
+                source.abort_export(txn)
+                raise
+            last = exc
+            interrupted += 1
+            source.abort_export(txn)
+            if offer is not None:
+                destination.cancel_offer(offer.offer_id)
+            note_retry("vtpm.migration")
+            charge("vtpm.migration.retry")
+            continue
+        source.commit_export(txn)
+        if interrupted:
+            note_recovery(
+                "vtpm.migration", get_context().clock.now_us - start_us
+            )
+        return instance
+    raise RetryExhausted(
+        "vtpm.migration",
+        attempts,
+        last or MigrationError(f"migration of {vm_uuid} kept failing"),
+    )

@@ -15,8 +15,9 @@ from __future__ import annotations
 import struct
 from typing import Callable, Optional
 
-from repro.sim.timing import charge
-from repro.util.errors import RingError
+from repro.faults import FaultKind, fire, note_recovery, note_retry
+from repro.sim.timing import charge, get_context
+from repro.util.errors import RetryExhausted, RingError
 from repro.xen.memory import PAGE_SIZE, PhysicalMemory
 
 STATUS_IDLE = 0
@@ -25,6 +26,9 @@ STATUS_RESPONSE = 2
 
 _HEADER = struct.Struct(">II")
 MAX_PAYLOAD = PAGE_SIZE - _HEADER.size
+
+#: how many times tpmfront re-kicks a silent back-end before giving up
+MAX_KICKS = 5
 
 Backend = Callable[[bytes], bytes]
 
@@ -122,7 +126,7 @@ class TpmRing:
             _HEADER.pack(STATUS_COMMAND, len(command)) + command,
         )
         self._response_ready = False
-        self._events.notify(self.port, self.front_domid)
+        self._kick_backend()
         if not self._response_ready:
             raise RingError("back-end did not produce a response")
         status, length = _HEADER.unpack(
@@ -133,6 +137,45 @@ class TpmRing:
         response = self._memory.read(self.front_domid, self.frame, _HEADER.size, length)
         self.commands_carried += 1
         return response
+
+    def _kick_backend(self) -> None:
+        """Deliver the front-end's kick, surviving injected channel faults.
+
+        The fault injector can stall a transfer (the kick lands late; the
+        stall is paid in virtual time) or drop the notification entirely
+        (the back-end never wakes).  The real tpmfront driver waits on a
+        timeout and re-kicks; we model that bounded-retry loop here, so a
+        lossy event channel degrades latency rather than correctness.
+        """
+        start_us = get_context().clock.now_us
+        dropped = 0
+        for attempt in range(MAX_KICKS):
+            event = fire(
+                "xen.ring.notify",
+                port=self.port,
+                front=self.front_domid,
+                attempt=attempt,
+            )
+            if event is not None and event.kind is FaultKind.RING_DROP_NOTIFY:
+                # The kick is lost: wait out the driver timeout and retry.
+                dropped += 1
+                charge("fault.ring.timeout")
+                note_retry("xen.ring.notify")
+                continue
+            if event is not None and event.kind is FaultKind.RING_STALL:
+                # The transfer stalls but the kick still lands afterwards.
+                charge("fault.ring.stall")
+            self._events.notify(self.port, self.front_domid)
+            if dropped:
+                note_recovery(
+                    "xen.ring.notify", get_context().clock.now_us - start_us
+                )
+            return
+        raise RetryExhausted(
+            "xen.ring.notify",
+            MAX_KICKS,
+            RingError(f"event channel dropped {dropped} notifications"),
+        )
 
     def teardown(self) -> None:
         """Release grant, channel and page (front-end shutdown path)."""

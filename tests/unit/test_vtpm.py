@@ -7,7 +7,12 @@ from repro.tpm import marshal
 from repro.tpm.constants import TPM_AUTHFAIL, TPM_ORD_GetRandom, TPM_SUCCESS
 from repro.util.bytesio import ByteWriter
 from repro.util.errors import TpmError, VtpmError
-from repro.vtpm.storage import DiskStore, VtpmStorage
+from repro.vtpm.storage import (
+    DiskStore,
+    VtpmStorage,
+    decode_generation,
+    latest_raw_payload,
+)
 
 
 def _get_random_wire(count: int = 8) -> bytes:
@@ -50,10 +55,25 @@ class TestDiskStore:
 class TestVtpmStorage:
     def test_plaintext_roundtrip(self):
         storage = VtpmStorage(DiskStore(), sealer=None)
-        storage.save_instance_state("uuid-x", None, b"cleartext state")
+        name = storage.save_instance_state("uuid-x", None, b"cleartext state")
         assert storage.load_instance_state("uuid-x", None) == b"cleartext state"
-        # Baseline really is plaintext at rest:
-        assert storage.disk.raw_contents()["vtpm-state-uuid-x"] == b"cleartext state"
+        # Baseline really is plaintext at rest: the generation frame wraps
+        # the payload but does nothing to hide it.
+        raw = storage.disk.raw_contents()[name]
+        generation, payload = decode_generation(raw)
+        assert generation == 1
+        assert payload == b"cleartext state"
+        assert latest_raw_payload(storage.disk.raw_contents(), "uuid-x") == (
+            b"cleartext state"
+        )
+
+    def test_generations_advance_and_prune(self):
+        storage = VtpmStorage(DiskStore(), sealer=None)
+        for i in range(5):
+            storage.save_instance_state("u", None, b"state-%d" % i)
+        # Retention window: latest plus one fallback.
+        assert storage.generations("u") == [4, 5]
+        assert storage.load_instance_state("u", None) == b"state-4"
 
     def test_delete(self):
         storage = VtpmStorage(DiskStore())
