@@ -1,0 +1,149 @@
+"""Wall-clock benchmark of the simulator's own command pipeline.
+
+Unlike every other file in this directory, this one measures *host* time:
+how many full-stack vTPM commands per second the harness sustains
+(``frontend → ring → backend → manager → monitor → instance → executor``).
+The deterministic virtual-time results never depend on host speed; this
+rail exists so the harness's own hot path cannot silently regress
+(ROADMAP: "as fast as the hardware allows").
+
+Run as a script to (re)generate ``BENCH_PIPELINE.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock_pipeline.py
+
+or as the CI perf-smoke gate, which fails if throughput drops more than
+30% below the committed numbers::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock_pipeline.py --check
+
+As a pytest module it checks the pipeline's *relative* invariants only
+(cache hit rate, audit-chain integrity, batching's virtual-time saving),
+so test runs stay independent of machine speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_PIPELINE.json"
+
+#: cmds/s measured on this harness immediately before the fast-path
+#: overhaul (authorization cache, parse-once dispatch, buffered audit
+#: chaining, charge() fast path): 10k improved-mode PCRRead frames,
+#: unbatched.  Kept as the fixed reference the speedup column reports.
+PRE_OVERHAUL_OPS_PER_SEC = 12_320.0
+
+#: the CI gate: a fresh run must reach this fraction of the committed rate
+CHECK_FLOOR = 0.70
+
+
+def run_profiles(commands: int = 10_000, batch_sizes=(1, 16),
+                 repeats: int = 3) -> dict:
+    """Measure the pipeline at each batch size; returns the JSON payload.
+
+    Best-of-``repeats`` per batch size, so a scheduling hiccup on a busy
+    host doesn't end up as the committed reference rate.
+    """
+    from repro.harness.profiling import profile_pipeline
+
+    runs = []
+    for batch in batch_sizes:
+        best = None
+        for _ in range(max(1, repeats)):
+            profile = profile_pipeline(commands=commands, batch_size=batch)
+            if profile.chain_ok is False:
+                raise AssertionError("audit chain broke during the benchmark")
+            if best is None or profile.wall_seconds < best.wall_seconds:
+                best = profile
+        runs.append(best.as_dict())
+    unbatched = runs[0]["ops_per_sec"]
+    return {
+        "workload": f"{commands} PCRRead frames, improved mode, full stack",
+        "pre_overhaul_ops_per_sec": PRE_OVERHAUL_OPS_PER_SEC,
+        "ops_per_sec": unbatched,
+        "speedup_vs_pre_overhaul": round(
+            unbatched / PRE_OVERHAUL_OPS_PER_SEC, 2
+        ),
+        "runs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--commands", type=int, default=10_000)
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"compare against {RESULT_PATH.name} instead of rewriting it; "
+             f"fail if below {CHECK_FLOOR:.0%} of the committed rate",
+    )
+    parser.add_argument("--output", type=Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    payload = run_profiles(commands=args.commands)
+    for run in payload["runs"]:
+        print(
+            f"batch={run['batch_size']:>2}: {run['ops_per_sec']:>10,.0f} cmds/s "
+            f"wall, {run['virtual_us_per_cmd']:.2f} virtual us/cmd, "
+            f"cache hit rate {run['cache_hit_rate']:.1%}"
+        )
+    print(
+        f"speedup vs pre-overhaul harness "
+        f"({payload['pre_overhaul_ops_per_sec']:,.0f} cmds/s): "
+        f"{payload['speedup_vs_pre_overhaul']:.2f}x"
+    )
+
+    if args.check:
+        committed = json.loads(args.output.read_text())
+        floor = committed["ops_per_sec"] * CHECK_FLOOR
+        fresh = payload["ops_per_sec"]
+        if fresh < floor:
+            print(
+                f"PERF REGRESSION: {fresh:,.0f} cmds/s is below "
+                f"{CHECK_FLOOR:.0%} of the committed "
+                f"{committed['ops_per_sec']:,.0f} cmds/s",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"perf-smoke OK: {fresh:,.0f} cmds/s >= "
+            f"{floor:,.0f} cmds/s floor"
+        )
+        return 0
+
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+# -- pytest entry points (machine-speed independent) -------------------------
+
+
+def test_pipeline_invariants():
+    """The fast path keeps its semantic invariants at both batch sizes."""
+    from repro.harness.profiling import profile_pipeline
+
+    single = profile_pipeline(commands=1_500, batch_size=1)
+    batched = profile_pipeline(commands=1_500, batch_size=16)
+    for profile in (single, batched):
+        assert profile.chain_ok is True
+        assert profile.cache_hit_rate > 0.95
+        # one audit record per command (plus the warm-up frame)
+        assert profile.audit_records == profile.commands + 1
+    # Batching must amortize virtual per-notify costs, not just wall time.
+    assert batched.virtual_us_per_cmd < single.virtual_us_per_cmd
+
+
+def test_committed_numbers_are_fresh():
+    """BENCH_PIPELINE.json exists and records the claimed speedup."""
+    committed = json.loads(RESULT_PATH.read_text())
+    assert committed["pre_overhaul_ops_per_sec"] == PRE_OVERHAUL_OPS_PER_SEC
+    assert committed["speedup_vs_pre_overhaul"] >= 2.0
+    assert committed["runs"], "at least one recorded run"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,6 +63,11 @@ def _register_experiments() -> None:
                 guests=3 if quick else 4,
                 duration_s=0.2 if quick else 0.35,
             ),
+            "fig7": lambda quick: ex.run_batching_sweep(
+                batch_sizes=(1, 4, 16) if quick else (1, 2, 4, 8, 16),
+                vm_counts=(1, 2) if quick else (1, 2, 4),
+                commands_per_vm=16 if quick else 64,
+            ),
         }
     )
 
@@ -249,6 +254,21 @@ def cmd_replay_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Wall-clock profile of the simulator's own command pipeline."""
+    from repro.harness.profiling import profile_pipeline
+
+    profile = profile_pipeline(
+        commands=args.commands,
+        batch_size=args.batch,
+        mode=AccessMode(args.mode),
+        seed=args.seed,
+    )
+    for line in profile.summary_lines():
+        print(line)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     _register_experiments()
     print("# vTPM access-control reproduction — evaluation report\n")
@@ -294,7 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("id", help="table1|fig1|table2|fig2|fig3|table3|fig4|"
-                                  "table4|fig5|fig6|all")
+                                  "table4|fig5|fig6|fig7|all")
     p_exp.add_argument("--quick", action="store_true",
                        help="smaller sizes for a fast run")
     p_exp.set_defaults(fn=cmd_experiment)
@@ -327,6 +347,18 @@ def build_parser() -> argparse.ArgumentParser:
                           default="improved")
     p_replay.add_argument("--seed", type=int, default=2010)
     p_replay.set_defaults(fn=cmd_replay_trace)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="wall-clock profile of the simulator's command pipeline",
+    )
+    p_profile.add_argument("--commands", type=int, default=10_000)
+    p_profile.add_argument("--batch", type=int, default=1,
+                           help="frames per ring submission (1 = classic)")
+    p_profile.add_argument("--mode", choices=["baseline", "improved"],
+                           default="improved")
+    p_profile.add_argument("--seed", type=int, default=2010)
+    p_profile.set_defaults(fn=cmd_profile)
 
     p_report = sub.add_parser("report", help="full evaluation as markdown")
     p_report.add_argument("--quick", action="store_true")

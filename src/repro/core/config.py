@@ -25,6 +25,7 @@ class AccessControlConfig:
 
     identity_check: bool = True     # verify caller measurement per command
     policy_check: bool = True       # per-ordinal policy decision
+    authz_cache: bool = True        # epoch-invalidated decision cache
     audit: bool = True              # append-only audit records
     protect_memory: bool = True     # hypervisor-protect vTPM secret pages
     seal_storage: bool = True       # encrypt state at rest, key sealed to hw TPM
@@ -38,6 +39,7 @@ class AccessControlConfig:
         return AccessControlConfig(
             identity_check=False,
             policy_check=False,
+            authz_cache=False,
             audit=False,
             protect_memory=False,
             seal_storage=False,
@@ -48,6 +50,7 @@ class AccessControlConfig:
         base = {
             "identity_check": False,
             "policy_check": False,
+            "authz_cache": False,
             "audit": False,
             "protect_memory": False,
             "seal_storage": False,
@@ -62,6 +65,7 @@ class AccessControlConfig:
         values = {
             "identity_check": self.identity_check,
             "policy_check": self.policy_check,
+            "authz_cache": self.authz_cache,
             "audit": self.audit,
             "protect_memory": self.protect_memory,
             "seal_storage": self.seal_storage,

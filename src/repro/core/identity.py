@@ -76,6 +76,9 @@ class IdentityRegistry:
 
     def __init__(self) -> None:
         self._by_domid: Dict[int, DomainIdentity] = {}
+        #: bumped on every mutation; cached authorization decisions made
+        #: against an older version are invalid (monitor epoch component)
+        self.version = 0
 
     def register(self, domain: Domain) -> DomainIdentity:
         measurement = measure_domain(domain)
@@ -84,10 +87,12 @@ class IdentityRegistry:
         )
         domain.measurement = measurement
         self._by_domid[domain.domid] = identity
+        self.version += 1
         return identity
 
     def forget(self, domid: int) -> None:
-        self._by_domid.pop(domid, None)
+        if self._by_domid.pop(domid, None) is not None:
+            self.version += 1
 
     def lookup(self, domid: int) -> Optional[DomainIdentity]:
         return self._by_domid.get(domid)

@@ -12,31 +12,57 @@ access-control monitor performs the paper's checks:
    granted (defeats over-broad command access, e.g. a guest driving
    owner-admin ordinals at another instance);
 3. **audit** — the decision is appended to the hash-chained log.
+
+The monitor also owns the **authorization decision cache**: the paper's
+argument is that these checks are a small per-command constant, and for
+the common case — the same bound guest re-issuing the same command class
+at the same instance — the full identity + policy walk is provably
+redundant.  A hit is keyed by (caller domid, *live* launch measurement,
+instance, ordinal class) and charges only ``ac.policy.cache_hit``.  Any
+event that could change a decision bumps the cache epoch, so revocation
+takes effect on the very next command:
+
+* policy mutation (rule add/revoke — tracked via ``PolicyEngine.version``),
+* identity re-registration or forgetting (``IdentityRegistry.version``),
+* instance destruction or creation (the monitor's own epoch counter).
+
+A rebuilt domain under a recycled domid misses the cache even within an
+epoch because the key includes the live measurement, and only *allow*
+decisions are ever cached.  Audit records are still appended on every
+command, hit or miss, so the hash chain is complete either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.audit import AuditLog
 from repro.core.config import AccessControlConfig
 from repro.core.identity import IdentityRegistry
-from repro.core.policy import PolicyEngine
+from repro.core.policy import PolicyEngine, classify_ordinal
+from repro.sim.timing import charge
 from repro.tpm.constants import ordinal_name
-from repro.tpm.marshal import parse_command
-from repro.util.errors import AccessDenied, IdentityError, MarshalError
+from repro.tpm.marshal import ParsedCommand, parse_command
+from repro.util.errors import IdentityError, MarshalError
 from repro.xen.domain import Domain
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuthorizationResult:
-    """What the monitor concluded for one command."""
+    """What the monitor concluded for one command.
+
+    ``parsed`` carries the wire frame the monitor already parsed so the
+    dispatch layer below never re-parses it (parse-once fast path); it is
+    ``None`` when the monitor did not need to parse (baseline) or the
+    frame was malformed.
+    """
 
     allowed: bool
     subject: str
     operation: str
     reason: str
+    parsed: Optional[ParsedCommand] = None
 
 
 class Monitor:
@@ -91,6 +117,26 @@ class AccessControlMonitor(Monitor):
         self.config = config or AccessControlConfig()
         self.checks = 0
         self.denials = 0
+        # -- decision cache ------------------------------------------------
+        #: (domid, live measurement, instance, class) -> (subject, reason)
+        self._cache: Dict[Tuple, Tuple[str, str]] = {}
+        #: monitor-local epoch component (instance lifecycle events)
+        self._epoch = 0
+        #: the composite epoch the current cache contents were built under
+        self._cache_epoch: Tuple[int, int, int] = (-1, -1, -1)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache plumbing ----------------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Force every cached decision to be re-derived (new epoch)."""
+        self._epoch += 1
+
+    def _current_epoch(self) -> Tuple[int, int, int]:
+        return (self._epoch, self.policy.version, self.identities.version)
+
+    # -- lifecycle hooks ---------------------------------------------------------
 
     def on_instance_created(
         self, instance_id: int, identity_hex: str, profile=None
@@ -100,6 +146,7 @@ class AccessControlMonitor(Monitor):
         ``profile`` (a :class:`~repro.core.profiles.PolicyProfile`) narrows
         the grant; the default is the full owner profile.
         """
+        self._epoch += 1
         if self.config.policy_check:
             if profile is None:
                 self.policy.grant_owner(identity_hex, instance_id)
@@ -107,13 +154,11 @@ class AccessControlMonitor(Monitor):
                 profile.apply(self.policy, identity_hex, instance_id)
 
     def on_instance_destroyed(self, instance_id: int) -> None:
-        doomed = [
-            r.rule_id
-            for r in self.policy._rules.values()
-            if r.instance == instance_id
-        ]
-        for rule_id in doomed:
-            self.policy.revoke_rule(rule_id)
+        self._epoch += 1
+        for rule in self.policy.rules_for_instance(instance_id):
+            self.policy.revoke_rule(rule.rule_id)
+
+    # -- the per-command path ----------------------------------------------------
 
     def authorize(
         self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
@@ -121,26 +166,53 @@ class AccessControlMonitor(Monitor):
     ) -> AuthorizationResult:
         self.checks += 1
         try:
-            ordinal = parse_command(wire).ordinal
-        except (MarshalError, Exception) as exc:  # malformed frames: deny early
-            if not isinstance(exc, MarshalError):
-                raise
+            parsed = parse_command(wire)
+        except MarshalError as exc:  # malformed frames: deny early
             return self._deny(
                 f"dom{caller.domid}", instance_id, "malformed",
                 f"unparseable command frame: {exc}",
             )
+        ordinal = parsed.ordinal
+        config = self.config
+
+        cache_key: Optional[Tuple] = None
+        if config.authz_cache:
+            epoch = (self._epoch, self.policy.version, self.identities.version)
+            if epoch != self._cache_epoch:
+                self._cache.clear()
+                self._cache_epoch = epoch
+            cache_key = (
+                caller.domid, caller.measurement, instance_id,
+                classify_ordinal(ordinal),
+            )
+            hit = self._cache.get(cache_key)
+            if hit is not None:
+                self.cache_hits += 1
+                charge("ac.policy.cache_hit")
+                subject, reason = hit
+                operation = ordinal_name(ordinal)
+                if config.audit:
+                    self.audit.append_buffered(
+                        subject, instance_id, operation, True, reason
+                    )
+                return AuthorizationResult(
+                    allowed=True, subject=subject, operation=operation,
+                    reason=reason, parsed=parsed,
+                )
+            self.cache_misses += 1
+
         operation = ordinal_name(ordinal)
 
         # 1. identity binding
         subject = f"dom{caller.domid}"
-        if not self.config.identity_check:
+        if not config.identity_check:
             # Policy-only ablation: use the registered identity as the
             # subject without re-verifying it (trust-but-lookup), so policy
             # rules keyed by identity still apply.
             known = self.identities.lookup(caller.domid)
             if known is not None:
                 subject = known.hex
-        if self.config.identity_check:
+        if config.identity_check:
             try:
                 identity = self.identities.verify_current(caller)
             except IdentityError as exc:
@@ -156,7 +228,7 @@ class AccessControlMonitor(Monitor):
                 )
 
         # 2. policy
-        if self.config.policy_check:
+        if config.policy_check:
             decision = self.policy.decide(subject, instance_id, ordinal)
             if not decision.allowed:
                 return self._deny(subject, instance_id, operation, decision.reason)
@@ -164,11 +236,17 @@ class AccessControlMonitor(Monitor):
         else:
             reason = "policy check disabled"
 
+        # Only allows are cached; denials always re-derive so a fixed
+        # policy or repaired identity takes effect immediately.
+        if cache_key is not None:
+            self._cache[cache_key] = (subject, reason)
+
         # 3. audit the allow
-        if self.config.audit:
-            self.audit.append(subject, instance_id, operation, True, reason)
+        if config.audit:
+            self.audit.append_buffered(subject, instance_id, operation, True, reason)
         return AuthorizationResult(
-            allowed=True, subject=subject, operation=operation, reason=reason
+            allowed=True, subject=subject, operation=operation, reason=reason,
+            parsed=parsed,
         )
 
     def on_fault(self, instance_id: int, exc: Exception) -> None:
@@ -176,7 +254,7 @@ class AccessControlMonitor(Monitor):
         and degraded into a ``TPM_FAIL`` response — chain it into the audit
         log so operators can distinguish chaos from attack."""
         if self.config.audit:
-            self.audit.append(
+            self.audit.append_buffered(
                 subject="manager",
                 instance=instance_id,
                 operation="FAULT-DEGRADED",
@@ -189,7 +267,7 @@ class AccessControlMonitor(Monitor):
     ) -> AuthorizationResult:
         self.denials += 1
         if self.config.audit:
-            self.audit.append(subject, instance_id, operation, False, reason)
+            self.audit.append_buffered(subject, instance_id, operation, False, reason)
         return AuthorizationResult(
             allowed=False, subject=subject, operation=operation, reason=reason
         )

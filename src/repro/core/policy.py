@@ -126,8 +126,15 @@ class PolicyEngine:
     def __init__(self) -> None:
         self._rules: Dict[int, PolicyRule] = {}
         self._index: Dict[Tuple[str, object, CommandClass], int] = {}
+        # Secondary indexes so revocation sweeps are O(rules touched), not
+        # O(all rules): rule ids by subject and by (exact) instance.
+        self._by_subject: Dict[str, set] = {}
+        self._by_instance: Dict[object, set] = {}
         self._ids = itertools.count(1)
         self.decisions = 0
+        #: bumped on every rule add/revoke; the monitor's decision cache
+        #: treats any change as a new epoch, so revocation is immediate
+        self.version = 0
 
     # -- administration ------------------------------------------------------
 
@@ -156,6 +163,9 @@ class PolicyEngine:
             )
             self._rules[rule.rule_id] = rule
             self._index[rule.key()] = rule.rule_id
+            self._by_subject.setdefault(rule.subject, set()).add(rule.rule_id)
+            self._by_instance.setdefault(rule.instance, set()).add(rule.rule_id)
+            self.version += 1
             created.append(rule)
         return created
 
@@ -169,13 +179,41 @@ class PolicyEngine:
             raise AccessControlError(f"no policy rule {rule_id}")
         if self._index.get(rule.key()) == rule_id:
             del self._index[rule.key()]
+        self._discard_from(self._by_subject, rule.subject, rule_id)
+        self._discard_from(self._by_instance, rule.instance, rule_id)
+        self.version += 1
+
+    @staticmethod
+    def _discard_from(index: Dict[object, set], key: object, rule_id: int) -> None:
+        ids = index.get(key)
+        if ids is not None:
+            ids.discard(rule_id)
+            if not ids:
+                del index[key]
 
     def revoke_subject(self, subject: str) -> int:
         """Remove every rule for a subject; returns how many were dropped."""
-        doomed = [r.rule_id for r in self._rules.values() if r.subject == subject]
+        doomed = sorted(self._by_subject.get(subject, ()))
         for rule_id in doomed:
             self.revoke_rule(rule_id)
         return len(doomed)
+
+    def revoke_instance(self, instance: object) -> int:
+        """Remove every rule naming ``instance`` exactly (not wildcards)."""
+        doomed = sorted(self._by_instance.get(instance, ()))
+        for rule_id in doomed:
+            self.revoke_rule(rule_id)
+        return len(doomed)
+
+    def rules_for_instance(self, instance: object) -> list[PolicyRule]:
+        """Rules whose instance position names ``instance`` exactly."""
+        ids = self._by_instance.get(instance, ())
+        return [self._rules[rule_id] for rule_id in sorted(ids)]
+
+    def rules_for_subject(self, subject: str) -> list[PolicyRule]:
+        """Rules whose subject position names ``subject`` exactly."""
+        ids = self._by_subject.get(subject, ())
+        return [self._rules[rule_id] for rule_id in sorted(ids)]
 
     @property
     def rule_count(self) -> int:

@@ -152,14 +152,25 @@ class RsaKeyPair:
     def bits(self) -> int:
         return self.public.bits
 
-    # CRT exponents, computed lazily but deterministically.
+    # CRT exponents, computed lazily and memoized (the dataclass is frozen,
+    # so derived values are smuggled into __dict__ via object.__setattr__ —
+    # they are pure functions of the immutable fields).
+
+    def _crt_params(self) -> tuple:
+        cached = self.__dict__.get("_crt")
+        if cached is None:
+            cached = (
+                self.d % (self.p - 1),
+                self.d % (self.q - 1),
+                pow(self.q, -1, self.p),
+            )
+            object.__setattr__(self, "_crt", cached)
+        return cached
 
     def _private_op(self, c: int) -> int:
         if not 0 <= c < self.public.n:
             raise CryptoError("ciphertext representative out of range")
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        qinv = pow(self.q, -1, self.p)
+        dp, dq, qinv = self._crt_params()
         m1 = pow(c, dp, self.p)
         m2 = pow(c, dq, self.q)
         h = (qinv * (m1 - m2)) % self.p
@@ -193,7 +204,14 @@ class RsaKeyPair:
         return em[sep + 1 :]
 
     def serialize_private(self) -> bytes:
-        """Private material as bytes (what a memory-dump attacker hunts for)."""
+        """Private material as bytes (what a memory-dump attacker hunts for).
+
+        Memoized: the key is immutable, and the manager re-serializes loaded
+        keys on every state sync, so this sits on the per-command hot path.
+        """
+        cached = self.__dict__.get("_serialized")
+        if cached is not None:
+            return cached
         from repro.util.bytesio import ByteWriter
 
         w = ByteWriter()
@@ -201,7 +219,9 @@ class RsaKeyPair:
         for value in (self.public.n, self.public.e, self.d, self.p, self.q):
             blob = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
             w.sized(blob)
-        return w.getvalue()
+        result = w.getvalue()
+        object.__setattr__(self, "_serialized", result)
+        return result
 
     @staticmethod
     def deserialize_private(data: bytes) -> "RsaKeyPair":

@@ -30,25 +30,28 @@ def is_transient(exc: Exception) -> bool:
 
 
 def with_retry(
-    attempt: Callable[[], T],
-    *,
+    attempt: Callable[..., T],
+    *args,
     site: str,
     attempts: int = DEFAULT_ATTEMPTS,
     base_backoff_us: float = DEFAULT_BACKOFF_US,
     retry_on: Tuple[Type[Exception], ...] = (FaultInjected,),
 ) -> T:
-    """Run ``attempt`` with bounded backoff on transient injected faults.
+    """Run ``attempt(*args)`` with bounded backoff on transient injected faults.
 
     Each retry charges ``fault.retry.backoff`` for ``base_backoff_us * 2^i``
     virtual microseconds, so recovery latency is measurable on the same
     clock as everything else.  A successful retry is recorded as one
     recovery (with the virtual time the whole episode took).
+
+    Positional arguments are forwarded to ``attempt`` so per-call hot paths
+    (the back-end forwarding every command) need not allocate a closure.
     """
     start_us = get_context().clock.now_us
     last: Exception | None = None
     for i in range(attempts):
         try:
-            result = attempt()
+            result = attempt(*args)
         except retry_on as exc:
             if not is_transient(exc):
                 raise

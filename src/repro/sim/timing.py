@@ -64,6 +64,7 @@ _DEFAULT_COSTS: Dict[str, Tuple[float, float]] = {
     "ac.identity.check": (0.35, 0.0),      # cached measurement compare
     "ac.identity.measure": (2.0, 0.0),     # plus explicit hash charges
     "ac.policy.lookup": (0.55, 0.0),       # hash-table rule match
+    "ac.policy.cache_hit": (0.08, 0.0),    # epoch check + decision-cache hit
     "ac.policy.compile": (2.5, 0.9),       # per rule, build-time only
     "ac.audit.append": (1.4, 0.0008),      # buffered append per byte
     "ac.seal.derive": (3.0, 0.0),          # KDF invocation bookkeeping
@@ -107,6 +108,12 @@ class CostModel:
         if overrides:
             self._table.update(overrides)
         self.cpu_scale = cpu_scale
+        # Pre-scaled (fixed, per-unit) tuples: the hot path is one dict
+        # lookup plus a multiply-add, with no per-call scaling arithmetic.
+        self._scaled: Dict[str, Tuple[float, float]] = {
+            op: (fixed * cpu_scale, per_unit * cpu_scale)
+            for op, (fixed, per_unit) in self._table.items()
+        }
 
     def known_ops(self) -> frozenset[str]:
         return frozenset(self._table)
@@ -114,12 +121,12 @@ class CostModel:
     def cost_us(self, op: str, units: float = 1.0) -> float:
         """Virtual microseconds for one call of ``op`` over ``units`` units."""
         try:
-            fixed, per_unit = self._table[op]
+            fixed, per_unit = self._scaled[op]
         except KeyError:
             raise SimulationError(f"unknown cost-model operation {op!r}") from None
         if units < 0:
             raise SimulationError(f"negative units {units} for {op!r}")
-        return (fixed + per_unit * units) * self.cpu_scale
+        return fixed + per_unit * units
 
 
 @dataclass
@@ -164,11 +171,25 @@ class TimingContext:
         self._ledgers: list[CostLedger] = []
 
     def charge(self, op: str, units: float = 1.0) -> float:
-        """Charge one operation: advance the clock, feed open ledgers."""
-        cost = self.model.cost_us(op, units)
-        self.clock.advance(cost)
-        for ledger in self._ledgers:
-            ledger.record(op, cost)
+        """Charge one operation: advance the clock, feed open ledgers.
+
+        This is the hottest function in the simulator (a dozen-plus calls
+        per vTPM command), so it reads the pre-scaled cost tuple directly
+        and only walks the ledger stack when a scope is actually open.
+        """
+        try:
+            fixed, per_unit = self.model._scaled[op]
+        except KeyError:
+            raise SimulationError(f"unknown cost-model operation {op!r}") from None
+        if units < 0:
+            raise SimulationError(f"negative units {units} for {op!r}")
+        cost = fixed + per_unit * units
+        if cost < 0:
+            raise SimulationError(f"negative cost {cost} for {op!r}")
+        self.clock._now_us += cost
+        if self._ledgers:
+            for ledger in self._ledgers:
+                ledger.record(op, cost)
         return cost
 
     def push_ledger(self, ledger: CostLedger) -> None:

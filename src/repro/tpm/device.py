@@ -49,13 +49,14 @@ class TpmDevice:
         if parsed.return_code != 0:
             raise TpmError(parsed.return_code, "TPM_Startup failed during power_on")
 
-    def execute(self, wire: bytes, locality: int = 0) -> bytes:
+    def execute(self, wire: bytes, locality: int = 0, parsed=None) -> bytes:
         """Run one framed command; the device never raises for TPM errors.
 
         The fault injector can abort the command *before* it reaches the
         executor — a transient bus/LPC error.  The command has no effect
         on TPM state, so the retry layers above can safely resend the same
-        wire bytes.
+        wire bytes.  ``parsed`` optionally carries an already-parsed frame
+        down to the executor (parse-once fast path).
         """
         event = fire("tpm.device.execute", device=self.name)
         if event is not None and event.kind is FaultKind.DEVICE_TRANSIENT:
@@ -67,7 +68,7 @@ class TpmDevice:
             from repro.tpm.marshal import build_response
 
             return build_response(TPM_IOERROR)
-        return self.executor.execute(wire, locality=locality)
+        return self.executor.execute(wire, locality=locality, parsed=parsed)
 
     # -- persistence ------------------------------------------------------------
 

@@ -99,15 +99,26 @@ class TpmExecutor:
         self.commands_executed = 0
         self.failures = 0
 
-    def execute(self, wire: bytes, locality: int = 0) -> bytes:
-        """One command in, one response out.  Never raises for TPM errors."""
+    def execute(
+        self,
+        wire: bytes,
+        locality: int = 0,
+        parsed: Optional[ParsedCommand] = None,
+    ) -> bytes:
+        """One command in, one response out.  Never raises for TPM errors.
+
+        When a layer above already parsed the frame (the access-control
+        monitor does, to classify the ordinal), it hands the result down via
+        ``parsed`` and the frame is not re-parsed here.
+        """
         charge("tpm.cmd.base")
-        try:
-            parsed = marshal.parse_command(wire)
-        except (MarshalError, TpmError) as exc:
-            self.failures += 1
-            code = exc.code if isinstance(exc, TpmError) else TPM_FAIL
-            return marshal.build_response(code)
+        if parsed is None:
+            try:
+                parsed = marshal.parse_command(wire)
+            except (MarshalError, TpmError) as exc:
+                self.failures += 1
+                code = exc.code if isinstance(exc, TpmError) else TPM_FAIL
+                return marshal.build_response(code)
         self.commands_executed += 1
         return self._run(parsed, locality)
 

@@ -26,7 +26,7 @@ from repro.util.errors import MarshalError, TpmError
 HEADER_SIZE = 10  # tag(2) + paramSize(4) + ordinal/returnCode(4)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuthTrailer:
     """The AUTH1 trailer appended to an authorized command."""
 
@@ -59,7 +59,7 @@ class AuthTrailer:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParsedCommand:
     """A TPM command pulled off the wire."""
 
@@ -138,7 +138,7 @@ def build_response(
     return w.getvalue()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParsedResponse:
     """A TPM response pulled off the wire."""
 

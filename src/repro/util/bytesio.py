@@ -7,48 +7,53 @@ small classes centralise bounds checking so malformed input surfaces as
 
 from __future__ import annotations
 
-import struct
-
 from repro.util.errors import MarshalError
 
 
 class ByteWriter:
-    """Accumulates big-endian fields into a byte string."""
+    """Accumulates big-endian fields into a byte string.
+
+    Backed by a single ``bytearray`` — integer fields append via
+    ``int.to_bytes`` straight into it, which profiles measurably faster
+    than a chunk list of one-field ``struct.pack`` results on the state
+    serialization path.
+    """
+
+    __slots__ = ("_buffer",)
 
     def __init__(self) -> None:
-        self._chunks: list[bytes] = []
-        self._length = 0
+        self._buffer = bytearray()
 
     def __len__(self) -> int:
-        return self._length
-
-    def _append(self, data: bytes) -> "ByteWriter":
-        self._chunks.append(data)
-        self._length += len(data)
-        return self
+        return len(self._buffer)
 
     def u8(self, value: int) -> "ByteWriter":
         if not 0 <= value <= 0xFF:
             raise MarshalError(f"u8 out of range: {value}")
-        return self._append(struct.pack(">B", value))
+        self._buffer.append(value)
+        return self
 
     def u16(self, value: int) -> "ByteWriter":
         if not 0 <= value <= 0xFFFF:
             raise MarshalError(f"u16 out of range: {value}")
-        return self._append(struct.pack(">H", value))
+        self._buffer += value.to_bytes(2, "big")
+        return self
 
     def u32(self, value: int) -> "ByteWriter":
         if not 0 <= value <= 0xFFFFFFFF:
             raise MarshalError(f"u32 out of range: {value}")
-        return self._append(struct.pack(">I", value))
+        self._buffer += value.to_bytes(4, "big")
+        return self
 
     def u64(self, value: int) -> "ByteWriter":
         if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
             raise MarshalError(f"u64 out of range: {value}")
-        return self._append(struct.pack(">Q", value))
+        self._buffer += value.to_bytes(8, "big")
+        return self
 
     def raw(self, data: bytes) -> "ByteWriter":
-        return self._append(bytes(data))
+        self._buffer += data
+        return self
 
     def sized(self, data: bytes) -> "ByteWriter":
         """A u32 length prefix followed by the bytes (TPM_SIZED_BUFFER)."""
@@ -56,11 +61,13 @@ class ByteWriter:
         return self.raw(data)
 
     def getvalue(self) -> bytes:
-        return b"".join(self._chunks)
+        return bytes(self._buffer)
 
 
 class ByteReader:
     """Consumes big-endian fields from a byte string with bounds checking."""
+
+    __slots__ = ("_data", "_pos")
 
     def __init__(self, data: bytes) -> None:
         self._data = bytes(data)
@@ -86,16 +93,16 @@ class ByteReader:
         return chunk
 
     def u8(self) -> int:
-        return struct.unpack(">B", self._take(1))[0]
+        return self._take(1)[0]
 
     def u16(self) -> int:
-        return struct.unpack(">H", self._take(2))[0]
+        return int.from_bytes(self._take(2), "big")
 
     def u32(self) -> int:
-        return struct.unpack(">I", self._take(4))[0]
+        return int.from_bytes(self._take(4), "big")
 
     def u64(self) -> int:
-        return struct.unpack(">Q", self._take(8))[0]
+        return int.from_bytes(self._take(8), "big")
 
     def raw(self, count: int) -> bytes:
         return self._take(count)

@@ -52,6 +52,15 @@ class VtpmFrontend:
         self.guest.require_running()
         return self.ring.send_command(wire)
 
+    def transport_batch(self, wires: list) -> list:
+        """Send several TPM commands in one ring submission (one kick)."""
+        if not self.connected:
+            raise VtpmError(
+                f"vTPM front-end of {self.guest.name} is not connected"
+            )
+        self.guest.require_running()
+        return self.ring.send_batch(wires)
+
     def close(self) -> None:
         self.xen.store.write(self.guest.domid, f"{self.device_path}/state", "6")
         self.ring.teardown()

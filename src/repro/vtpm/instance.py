@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.crypto.random_source import RandomSource
+from repro.tpm import constants as tc
 from repro.tpm.device import TpmDevice
 from repro.util.errors import VtpmError
 from repro.xen.memory import PAGE_SIZE, MemoryRegion, PhysicalMemory
@@ -18,9 +19,31 @@ from repro.xen.memory import PAGE_SIZE, MemoryRegion, PhysicalMemory
 #: pages reserved per instance for the in-memory state image
 STATE_PAGES = 8
 
+#: Ordinals that cannot change the *serialized* TPM state: pure reads, plus
+#: session setup (auth sessions and the RNG are volatile — deliberately not
+#: part of the state blob, see ``TpmState.serialize``).  After one of these
+#: the in-memory image is already current, so the re-serialize is skipped.
+_SERIALIZATION_NEUTRAL = frozenset(
+    {
+        tc.TPM_ORD_PcrRead,
+        tc.TPM_ORD_GetRandom,
+        tc.TPM_ORD_GetCapability,
+        tc.TPM_ORD_ReadPubek,
+        tc.TPM_ORD_DirRead,
+        tc.TPM_ORD_GetTestResult,
+        tc.TPM_ORD_ReadCounter,
+        tc.TPM_ORD_OIAP,
+        tc.TPM_ORD_OSAP,
+    }
+)
+
 
 class VtpmInstance:
     """A per-VM virtual TPM, resident in the manager domain."""
+
+    #: memoized EK-fragment register image, filled lazily by the manager's
+    #: working-register model (class default covers restored instances too)
+    working_registers = None
 
     def __init__(
         self,
@@ -74,11 +97,23 @@ class VtpmInstance:
         length = int.from_bytes(self.state_region.read(0, 4), "big")
         return self.state_region.read(4, length)
 
-    def execute(self, wire: bytes, locality: int = 0) -> bytes:
-        """Run one TPM command on this instance and refresh the image."""
-        response = self.device.execute(wire, locality=locality)
+    def execute(self, wire: bytes, locality: int = 0, parsed=None) -> bytes:
+        """Run one TPM command on this instance and refresh the image.
+
+        ``parsed`` optionally carries the already-parsed frame (the monitor
+        parses every command once); it also lets us skip the state-image
+        refresh for ordinals that cannot alter the serialized state.
+        """
+        response = self.device.execute(wire, locality=locality, parsed=parsed)
         self.commands_handled += 1
-        self.sync_to_memory()
+        if parsed is not None:
+            ordinal = parsed.ordinal
+        elif len(wire) >= 10:
+            ordinal = int.from_bytes(wire[6:10], "big")
+        else:
+            ordinal = -1
+        if ordinal not in _SERIALIZATION_NEUTRAL:
+            self.sync_to_memory()
         return response
 
     def teardown(self) -> None:

@@ -16,7 +16,7 @@ from repro.util.errors import EventChannelError
 Handler = Callable[[int], None]  # receives the port number
 
 
-@dataclass
+@dataclass(slots=True)
 class Channel:
     port: int
     dom_a: int

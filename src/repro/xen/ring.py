@@ -8,6 +8,14 @@ physical pages and event channels — so the access-control monitor sits on
 a faithful command path, and so ring transfers cost virtual time.
 
 Page layout: ``status(u32) | length(u32) | payload…``
+
+**Batched frames** (the throughput fast path) reuse the same page with a
+vector layout: ``status(u32) | count(u32) | [length(u32) | payload…]*``.
+The front-end packs up to a page's worth of commands, kicks the channel
+*once*, and the back-end answers with the matching response vector — so
+the per-notify costs (``xen.evtchn.notify``, the manager's
+``vtpm.dispatch`` demux) are amortized over the whole batch while every
+command is still individually authorized.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from repro.xen.memory import PAGE_SIZE, PhysicalMemory
 STATUS_IDLE = 0
 STATUS_COMMAND = 1
 STATUS_RESPONSE = 2
+STATUS_BATCH = 3
+STATUS_BATCH_RESPONSE = 4
 
 _HEADER = struct.Struct(">II")
 MAX_PAYLOAD = PAGE_SIZE - _HEADER.size
@@ -31,6 +41,23 @@ MAX_PAYLOAD = PAGE_SIZE - _HEADER.size
 MAX_KICKS = 5
 
 Backend = Callable[[bytes], bytes]
+BatchBackend = Callable[[list], list]
+
+
+def _pack_vector(status: int, frames: list) -> bytes:
+    """Serialize a frame vector into the batched page layout."""
+    buf = bytearray(_HEADER.pack(status, len(frames)))
+    for frame in frames:
+        buf += len(frame).to_bytes(4, "big")
+        buf += frame
+    return bytes(buf)
+
+
+def max_batch_frames(frame_size: int) -> int:
+    """How many frames of ``frame_size`` bytes fit in one batched page."""
+    if frame_size <= 0:
+        raise RingError(f"frame size must be positive, got {frame_size}")
+    return max(1, (PAGE_SIZE - _HEADER.size) // (4 + frame_size))
 
 
 class TpmRing:
@@ -59,6 +86,7 @@ class TpmRing:
         self.gref = grants.grant_access(front_domid, back_domid, self.frame)
         self.port = events.alloc_unbound(front_domid, back_domid)
         self._backend: Optional[Backend] = None
+        self._batch_backend: Optional[BatchBackend] = None
         self._mapped_frame: Optional[int] = None
         self.commands_carried = 0
         events.bind(self.port, front_domid, self._on_front_event)
@@ -66,12 +94,20 @@ class TpmRing:
 
     # -- back-end side -----------------------------------------------------------
 
-    def connect_backend(self, backend: Backend) -> None:
-        """Back-end maps the grant and installs its command handler."""
+    def connect_backend(
+        self, backend: Backend, batch_backend: Optional[BatchBackend] = None
+    ) -> None:
+        """Back-end maps the grant and installs its command handler(s).
+
+        ``batch_backend`` (a list-of-wires → list-of-responses callable)
+        enables the vector protocol; without it, batched submissions are
+        drained through ``backend`` one frame at a time.
+        """
         self._mapped_frame = self._grants.map_grant(
             self.back_domid, self.front_domid, self.gref
         )
         self._backend = backend
+        self._batch_backend = batch_backend
         self._events.bind(self.port, self.back_domid, self._on_back_event)
 
     def disconnect_backend(self) -> None:
@@ -79,14 +115,18 @@ class TpmRing:
             self._grants.unmap_grant(self.back_domid, self.front_domid, self.gref)
             self._mapped_frame = None
         self._backend = None
+        self._batch_backend = None
 
     def _on_back_event(self, _port: int) -> None:
-        """Back-end interrupt: read command, execute, write response."""
+        """Back-end interrupt: read command(s), execute, write response(s)."""
         if self._backend is None or self._mapped_frame is None:
             raise RingError("back-end notified but not connected")
         status, length = _HEADER.unpack(
             self._memory.read(self.back_domid, self._mapped_frame, 0, _HEADER.size)
         )
+        if status == STATUS_BATCH:
+            self._on_back_batch(length)
+            return
         if status != STATUS_COMMAND:
             raise RingError(f"back-end woke with status {status}, not COMMAND")
         if length > MAX_PAYLOAD:
@@ -105,6 +145,38 @@ class TpmRing:
             0,
             _HEADER.pack(STATUS_RESPONSE, len(response)) + response,
         )
+        self._events.notify(self.port, self.back_domid)
+
+    def _on_back_batch(self, count: int) -> None:
+        """Drain a batched submission: one page read, one response vector."""
+        page = self._memory.read(
+            self.back_domid, self._mapped_frame, 0, PAGE_SIZE
+        )
+        commands = []
+        offset = _HEADER.size
+        for _ in range(count):
+            if offset + 4 > PAGE_SIZE:
+                raise RingError("batch vector overruns the page")
+            length = int.from_bytes(page[offset : offset + 4], "big")
+            offset += 4
+            if offset + length > PAGE_SIZE:
+                raise RingError("batched command overruns the page")
+            commands.append(page[offset : offset + length])
+            offset += length
+        charge("xen.ring.transfer", offset - _HEADER.size)
+        if self._batch_backend is not None:
+            responses = self._batch_backend(commands)
+        else:
+            responses = [self._backend(command) for command in commands]
+        if len(responses) != count:
+            raise RingError(
+                f"back-end answered {len(responses)} frames for a batch of {count}"
+            )
+        reply = _pack_vector(STATUS_BATCH_RESPONSE, responses)
+        if len(reply) > PAGE_SIZE:
+            raise RingError("batched responses exceed the page window")
+        charge("xen.ring.transfer", len(reply) - _HEADER.size)
+        self._memory.write(self.back_domid, self._mapped_frame, 0, reply)
         self._events.notify(self.port, self.back_domid)
 
     # -- front-end side ------------------------------------------------------------
@@ -137,6 +209,51 @@ class TpmRing:
         response = self._memory.read(self.front_domid, self.frame, _HEADER.size, length)
         self.commands_carried += 1
         return response
+
+    def send_batch(self, commands: list) -> list:
+        """Carry several TPM commands in one page write and one kick.
+
+        The whole vector must fit the page; callers size batches with
+        :func:`max_batch_frames`.  Returns the responses in submission
+        order.
+        """
+        if not commands:
+            return []
+        if self._backend is None:
+            raise RingError("no back-end connected to this vTPM ring")
+        submission = _pack_vector(STATUS_BATCH, commands)
+        if len(submission) > PAGE_SIZE:
+            raise RingError(
+                f"batch of {len(commands)} frames ({len(submission)} bytes) "
+                f"exceeds the page window"
+            )
+        charge("xen.ring.transfer", len(submission) - _HEADER.size)
+        self._memory.write(self.front_domid, self.frame, 0, submission)
+        self._response_ready = False
+        self._kick_backend()
+        if not self._response_ready:
+            raise RingError("back-end did not produce a response")
+        page = self._memory.read(self.front_domid, self.frame, 0, PAGE_SIZE)
+        status, count = _HEADER.unpack(page[: _HEADER.size])
+        if status != STATUS_BATCH_RESPONSE:
+            raise RingError(
+                f"front-end woke with status {status}, not BATCH_RESPONSE"
+            )
+        if count != len(commands):
+            raise RingError(
+                f"back-end answered {count} frames for a batch of {len(commands)}"
+            )
+        responses = []
+        offset = _HEADER.size
+        for _ in range(count):
+            length = int.from_bytes(page[offset : offset + 4], "big")
+            offset += 4
+            if offset + length > PAGE_SIZE:
+                raise RingError("batched response overruns the page")
+            responses.append(page[offset : offset + length])
+            offset += length
+        self.commands_carried += count
+        return responses
 
     def _kick_backend(self) -> None:
         """Deliver the front-end's kick, surviving injected channel faults.
