@@ -46,9 +46,13 @@ def run_profiles(commands: int = 10_000, batch_sizes=(1, 16),
     """Measure the pipeline at each batch size; returns the JSON payload.
 
     Best-of-``repeats`` per batch size, so a scheduling hiccup on a busy
-    host doesn't end up as the committed reference rate.
+    host doesn't end up as the committed reference rate.  One extra
+    unbatched pass runs with a span tracer installed (counting sink, no
+    retention) so the payload records tracing's wall-clock overhead next
+    to the untraced rate it is compared against.
     """
     from repro.harness.profiling import profile_pipeline
+    from repro.obs import CountingSink, Tracer
 
     runs = []
     for batch in batch_sizes:
@@ -61,6 +65,15 @@ def run_profiles(commands: int = 10_000, batch_sizes=(1, 16),
                 best = profile
         runs.append(best.as_dict())
     unbatched = runs[0]["ops_per_sec"]
+
+    traced_best = None
+    for _ in range(max(1, repeats)):
+        profile = profile_pipeline(
+            commands=commands, batch_size=1, tracer=Tracer(CountingSink())
+        )
+        if traced_best is None or profile.wall_seconds < traced_best.wall_seconds:
+            traced_best = profile
+    traced = traced_best.ops_per_sec
     return {
         "workload": f"{commands} PCRRead frames, improved mode, full stack",
         "pre_overhaul_ops_per_sec": PRE_OVERHAUL_OPS_PER_SEC,
@@ -68,6 +81,8 @@ def run_profiles(commands: int = 10_000, batch_sizes=(1, 16),
         "speedup_vs_pre_overhaul": round(
             unbatched / PRE_OVERHAUL_OPS_PER_SEC, 2
         ),
+        "traced_ops_per_sec": round(traced, 1),
+        "trace_overhead_pct": round(100.0 * (1.0 - traced / unbatched), 1),
         "runs": runs,
     }
 
@@ -94,6 +109,10 @@ def main(argv=None) -> int:
         f"speedup vs pre-overhaul harness "
         f"({payload['pre_overhaul_ops_per_sec']:,.0f} cmds/s): "
         f"{payload['speedup_vs_pre_overhaul']:.2f}x"
+    )
+    print(
+        f"traced (spans on): {payload['traced_ops_per_sec']:>10,.0f} cmds/s "
+        f"({payload['trace_overhead_pct']:.1f}% overhead)"
     )
 
     if args.check:
@@ -137,12 +156,31 @@ def test_pipeline_invariants():
     assert batched.virtual_us_per_cmd < single.virtual_us_per_cmd
 
 
+def test_tracing_charges_no_virtual_time():
+    """A traced run costs host time, never virtual time: per-command
+    virtual cost and the audit chain are identical with spans on."""
+    from repro.harness.profiling import profile_pipeline
+    from repro.obs import CountingSink, Tracer
+
+    plain = profile_pipeline(commands=800, batch_size=1)
+    sink = CountingSink()
+    traced = profile_pipeline(
+        commands=800, batch_size=1, tracer=Tracer(sink)
+    )
+    assert traced.virtual_us_per_cmd == plain.virtual_us_per_cmd
+    assert traced.chain_ok is True
+    assert sink.roots == 800  # one tree per timed command
+    assert sink.spans > sink.roots
+
+
 def test_committed_numbers_are_fresh():
     """BENCH_PIPELINE.json exists and records the claimed speedup."""
     committed = json.loads(RESULT_PATH.read_text())
     assert committed["pre_overhaul_ops_per_sec"] == PRE_OVERHAUL_OPS_PER_SEC
     assert committed["speedup_vs_pre_overhaul"] >= 2.0
     assert committed["runs"], "at least one recorded run"
+    assert committed["traced_ops_per_sec"] > 0
+    assert committed["trace_overhead_pct"] < 60.0
 
 
 if __name__ == "__main__":

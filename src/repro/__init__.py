@@ -22,6 +22,7 @@ See ``examples/`` for complete scenarios and ``benchmarks/`` for the
 evaluation harness (one file per table/figure; index in DESIGN.md).
 """
 
+from repro import obs
 from repro.core.config import AccessControlConfig, AccessMode
 from repro.harness.builder import (
     GuestHandle,
@@ -51,6 +52,7 @@ __all__ = [
     "Platform",
     "build_platform",
     "fresh_timing_context",
+    "obs",
     "TpmClient",
     "TpmDevice",
     "AccessControlError",

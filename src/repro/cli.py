@@ -9,8 +9,13 @@ Subcommands:
 * ``attack-matrix`` — run every attack against one or both regimes.
 * ``experiment <id>`` — regenerate one table/figure (``table1``,
   ``fig1`` … ``table4``, ``fig5``, or ``all``); ``--quick`` shrinks sizes.
-* ``trace`` — emit a synthetic Poisson workload trace to stdout.
+* ``trace`` — with no operand, emit a synthetic Poisson workload trace;
+  with a workload operand (``pcrread``, ``seal``, …), run it live with
+  tracing on and print the span trees plus the counter exposition.
 * ``report`` — run the full evaluation and print a markdown report.
+
+``chaos`` and ``experiment`` accept ``--trace PATH`` to stream every
+finished span tree to ``PATH`` as JSONL (``-`` for stdout).
 """
 
 from __future__ import annotations
@@ -100,6 +105,19 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_trace(path: str):
+    """``--trace PATH`` plumbing: (tracer, registry, closer) or Nones."""
+    import contextlib
+
+    from repro.obs import CounterRegistry, JsonlSink, Tracer
+
+    if path is None:
+        return None, None, contextlib.nullcontext()
+    stream = sys.stdout if path == "-" else open(path, "w")
+    closer = contextlib.nullcontext() if path == "-" else stream
+    return Tracer(JsonlSink(stream)), CounterRegistry(), closer
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection demo: a seeded workload survives injected chaos."""
     from repro.harness.chaos import (
@@ -109,14 +127,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
 
     plan = default_chaos_plan(args.seed)
-    if args.single:
-        report = run_chaos_workload(
-            seed=args.seed, commands=args.commands, plan=plan
+    tracer, registry, closer = _open_trace(args.trace)
+    with closer:
+        if args.single:
+            report = run_chaos_workload(
+                seed=args.seed, commands=args.commands, plan=plan,
+                tracer=tracer, counters=registry,
+            )
+            for line in report.summary_lines():
+                print(line)
+            _print_trace_summary(args.trace, tracer, registry)
+            return 0
+        result = run_chaos_demo(
+            seed=args.seed, commands=args.commands, plan=plan,
+            tracer=tracer, counters=registry,
         )
-        for line in report.summary_lines():
-            print(line)
-        return 0
-    result = run_chaos_demo(seed=args.seed, commands=args.commands, plan=plan)
     chaotic = result["chaotic"]
     print("== chaotic run ==")
     for line in chaotic.summary_lines():
@@ -128,7 +153,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           "(PCR/NV digests match the fault-free run)")
     print(f"deterministic         : {result['deterministic']} "
           "(same seed → identical fault sequence)")
+    _print_trace_summary(args.trace, tracer, registry)
     return 0
+
+
+def _print_trace_summary(path, tracer, registry) -> None:
+    if tracer is None or path == "-":
+        return
+    print(f"trace: {tracer.roots_emitted} root spans "
+          f"({tracer.spans_started} total) -> {path}")
+    if registry is not None and registry.series():
+        print("counters:")
+        for line in registry.exposition().splitlines():
+            print(f"  {line}")
 
 
 def cmd_attack_matrix(args: argparse.Namespace) -> int:
@@ -159,6 +196,10 @@ def cmd_attack_matrix(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    import contextlib
+
+    from repro.obs import trace as obs_trace
+
     _register_experiments()
     names = list(EXPERIMENTS) if args.id == "all" else [args.id]
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -166,14 +207,79 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment id(s): {unknown}; "
               f"choose from {sorted(EXPERIMENTS)} or 'all'", file=sys.stderr)
         return 2
-    for name in names:
-        result = EXPERIMENTS[name](args.quick)
-        print(result.render())
+    # Spans only — experiments reset the timing context once per measured
+    # configuration, and a counter registry is bound to a single epoch.
+    tracer, _registry, closer = _open_trace(getattr(args, "trace", None))
+    with closer:
+        scope = (
+            obs_trace.tracer_scope(tracer)
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            for name in names:
+                result = EXPERIMENTS[name](args.quick)
+                print(result.render())
+                print()
+    _print_trace_summary(getattr(args, "trace", None), tracer, None)
+    return 0
+
+
+def _trace_workload_op(workload: str) -> str:
+    """Map CLI spellings (``pcrread``) to workload operation names."""
+    return {"pcrread": "pcr_read", "pcr-read": "pcr_read"}.get(
+        workload, workload.replace("-", "_")
+    )
+
+
+def _cmd_trace_live(args: argparse.Namespace) -> int:
+    """``trace <workload>``: run it for real and show the span trees."""
+    from repro.obs import (
+        CounterRegistry,
+        InMemorySink,
+        Tracer,
+        format_span_tree,
+        registry_scope,
+        tracer_scope,
+    )
+    from repro.util.errors import ReproError
+    from repro.workloads.mixes import GuestSession
+
+    op = _trace_workload_op(args.workload)
+    fresh_timing_context()
+    platform = build_platform(AccessMode(args.mode), seed=args.seed)
+    session = GuestSession(
+        platform.add_guest("trace-vm"), platform.rng.fork("trace-sess")
+    )
+    if op not in session.operation_names():
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{', '.join(session.operation_names())}", file=sys.stderr)
+        return 2
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    registry = CounterRegistry()
+    with tracer_scope(tracer), registry_scope(registry):
+        for _ in range(args.count):
+            try:
+                session.run_operation(op)
+            except ReproError as exc:
+                print(f"workload {op!r} failed: {exc}", file=sys.stderr)
+                return 1
+    spans = sink.validate()
+    print(f"== {op} x{args.count} ({args.mode} regime, seed {args.seed}) — "
+          f"{len(sink)} root spans, {spans} spans total ==")
+    for root in sink.roots:
+        for line in format_span_tree(root):
+            print(line)
         print()
+    print("== counters ==")
+    sys.stdout.write(registry.exposition())
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    if args.workload is not None:
+        return _cmd_trace_live(args)
     from repro.crypto.random_source import RandomSource
     from repro.workloads.mixes import (
         MIX_ATTESTATION,
@@ -303,6 +409,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--commands", type=int, default=1000)
     p_chaos.add_argument("--single", action="store_true",
                          help="one chaotic run only (skip control + replay)")
+    p_chaos.add_argument("--trace", metavar="PATH", default=None,
+                         help="write span trees of the chaotic run as JSONL "
+                              "(- for stdout)")
     p_chaos.set_defaults(fn=cmd_chaos)
 
     p_attack = sub.add_parser("attack-matrix", help="run the attack toolkit")
@@ -317,9 +426,24 @@ def build_parser() -> argparse.ArgumentParser:
                                   "table4|fig5|fig6|fig7|all")
     p_exp.add_argument("--quick", action="store_true",
                        help="smaller sizes for a fast run")
+    p_exp.add_argument("--trace", metavar="PATH", default=None,
+                       help="write span trees as JSONL (- for stdout)")
     p_exp.set_defaults(fn=cmd_experiment)
 
-    p_trace = sub.add_parser("trace", help="emit a synthetic workload trace")
+    p_trace = sub.add_parser(
+        "trace",
+        help="emit a synthetic trace, or run one workload with tracing on",
+    )
+    p_trace.add_argument(
+        "workload", nargs="?", default=None,
+        help="run this operation live (pcrread, seal, quote, …) and print "
+             "its span trees; omit to emit a synthetic Poisson trace",
+    )
+    p_trace.add_argument("--mode", choices=["baseline", "improved"],
+                         default="improved",
+                         help="regime for a live workload run")
+    p_trace.add_argument("--count", type=int, default=2,
+                         help="repetitions of the live workload (default 2)")
     p_trace.add_argument("--guests", type=int, default=4)
     p_trace.add_argument("--rate", type=float, default=100.0,
                          help="commands per guest per second")

@@ -44,6 +44,19 @@ class AuditRecord:
             f"{'ALLOW' if self.allowed else 'DENY'}|{self.reason}"
         ).encode("utf-8")
 
+    def encode_decision(self) -> bytes:
+        """The timestamp-free encoding: only decision-relevant fields.
+
+        Two runs that take different amounts of *virtual time* but make
+        the same decisions (e.g. authz cache on vs off) agree on this
+        encoding while their full chains legitimately differ.
+        """
+        return (
+            f"{self.sequence}|{self.subject}|{self.instance}|"
+            f"{self.operation}|{'ALLOW' if self.allowed else 'DENY'}|"
+            f"{self.reason}"
+        ).encode("utf-8")
+
 
 class AuditLog:
     """The manager's append-only decision log."""
@@ -146,6 +159,24 @@ class AuditLog:
         self._chain_head = value
 
     # -- verification -----------------------------------------------------------
+
+    def chain_head(self) -> bytes:
+        """The current chain head (flushes pending entries first)."""
+        self._flush()
+        return self._chain_head
+
+    def decision_chain_hash(self) -> bytes:
+        """Chain hash over the timestamp-free decision encodings.
+
+        The differential oracle compares this across configurations whose
+        virtual-time costs differ by design (decision cache on vs off):
+        equality means every record agrees on sequence, subject, instance,
+        operation, verdict and reason — everything but the clock.
+        """
+        head = GENESIS
+        for record in self._records:
+            head = hashlib.sha256(head + record.encode_decision()).digest()
+        return head
 
     def verify_chain(self) -> bool:
         """Recompute the whole chain; False means tampering."""

@@ -41,6 +41,8 @@ from repro.core.audit import AuditLog
 from repro.core.config import AccessControlConfig
 from repro.core.identity import IdentityRegistry
 from repro.core.policy import PolicyEngine, classify_ordinal
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
 from repro.sim.timing import charge
 from repro.tpm.constants import ordinal_name
 from repro.tpm.marshal import ParsedCommand, parse_command
@@ -164,14 +166,35 @@ class AccessControlMonitor(Monitor):
         self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
         wire: bytes,
     ) -> AuthorizationResult:
-        self.checks += 1
-        try:
-            parsed = parse_command(wire)
-        except MarshalError as exc:  # malformed frames: deny early
-            return self._deny(
-                f"dom{caller.domid}", instance_id, "malformed",
-                f"unparseable command frame: {exc}",
+        with obs_trace.span("authz", instance=instance_id) as span:
+            result = self._authorize(caller, instance_id, bound_identity_hex,
+                                     wire, span)
+        registry = obs_counters.current_registry()
+        if registry is not None:
+            cls = (
+                classify_ordinal(result.parsed.ordinal).value
+                if result.parsed is not None else "malformed"
             )
+            registry.inc("ac.commands", cls=cls)
+            registry.inc(
+                "ac.decisions",
+                outcome="allow" if result.allowed else "deny",
+            )
+        return result
+
+    def _authorize(
+        self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
+        wire: bytes, span,
+    ) -> AuthorizationResult:
+        self.checks += 1
+        with obs_trace.span("parse"):
+            try:
+                parsed = parse_command(wire)
+            except MarshalError as exc:  # malformed frames: deny early
+                return self._deny(
+                    f"dom{caller.domid}", instance_id, "malformed",
+                    f"unparseable command frame: {exc}",
+                )
         ordinal = parsed.ordinal
         config = self.config
 
@@ -188,18 +211,23 @@ class AccessControlMonitor(Monitor):
             hit = self._cache.get(cache_key)
             if hit is not None:
                 self.cache_hits += 1
+                span.set("cache", "hit")
+                obs_counters.inc("ac.cache", result="hit")
                 charge("ac.policy.cache_hit")
                 subject, reason = hit
                 operation = ordinal_name(ordinal)
                 if config.audit:
-                    self.audit.append_buffered(
-                        subject, instance_id, operation, True, reason
-                    )
+                    with obs_trace.span("audit"):
+                        self.audit.append_buffered(
+                            subject, instance_id, operation, True, reason
+                        )
                 return AuthorizationResult(
                     allowed=True, subject=subject, operation=operation,
                     reason=reason, parsed=parsed,
                 )
             self.cache_misses += 1
+            span.set("cache", "miss")
+            obs_counters.inc("ac.cache", result="miss")
 
         operation = ordinal_name(ordinal)
 
@@ -243,7 +271,10 @@ class AccessControlMonitor(Monitor):
 
         # 3. audit the allow
         if config.audit:
-            self.audit.append_buffered(subject, instance_id, operation, True, reason)
+            with obs_trace.span("audit"):
+                self.audit.append_buffered(
+                    subject, instance_id, operation, True, reason
+                )
         return AuthorizationResult(
             allowed=True, subject=subject, operation=operation, reason=reason,
             parsed=parsed,
@@ -267,7 +298,10 @@ class AccessControlMonitor(Monitor):
     ) -> AuthorizationResult:
         self.denials += 1
         if self.config.audit:
-            self.audit.append_buffered(subject, instance_id, operation, False, reason)
+            with obs_trace.span("audit"):
+                self.audit.append_buffered(
+                    subject, instance_id, operation, False, reason
+                )
         return AuthorizationResult(
             allowed=False, subject=subject, operation=operation, reason=reason
         )

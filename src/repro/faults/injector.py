@@ -28,6 +28,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.crypto.random_source import RandomSource
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
 from repro.sim.timing import get_context
 from repro.util.errors import FaultInjected
 
@@ -136,6 +138,9 @@ class FaultInjector:
         self.events.append(event)
         kind = event.kind.value
         self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        obs_counters.inc("faults.injected", kind=kind)
+        obs_trace.span_event("fault", kind=kind, site=event.site,
+                             call_index=event.call_index)
         if self.audit is not None:
             self.audit.append(
                 subject="fault-injector",
@@ -151,11 +156,13 @@ class FaultInjector:
 
     def note_retry(self, site: str) -> None:
         self.retries += 1
+        obs_counters.inc("faults.retries", site=site)
         if self.metrics is not None:
             self.metrics.record("fault.retry", 0.0)
 
     def note_recovery(self, site: str, elapsed_us: float = 0.0) -> None:
         self.recoveries += 1
+        obs_counters.inc("faults.recoveries", site=site)
         if self.audit is not None:
             self.audit.append(
                 subject="fault-injector",

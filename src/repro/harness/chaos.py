@@ -13,6 +13,7 @@ reproduces the identical fault sequence twice.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import struct
 from dataclasses import dataclass, field
@@ -29,6 +30,8 @@ from repro.faults import (
 )
 from repro.harness.builder import Platform, build_platform, fresh_timing_context
 from repro.metrics.recorder import LatencyRecorder
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
 from repro.sim.timing import get_context
 from repro.tpm.client import TpmClient
 from repro.tpm.constants import NUM_PCRS
@@ -95,6 +98,9 @@ class ChaosReport:
     metrics_counts: Dict[str, int]
     mean_recovery_us: float
     elapsed_virtual_us: float
+    #: hex chain head of platform A's audit log — the tracing
+    #: non-interference oracle compares this byte-for-byte
+    audit_chain_hex: str = ""
 
     def summary_lines(self) -> list[str]:
         lines = [
@@ -146,6 +152,8 @@ def run_chaos_workload(
     commands: int = DEFAULT_COMMANDS,
     plan: Optional[FaultPlan] = None,
     mode: AccessMode = AccessMode.IMPROVED,
+    tracer: Optional[obs_trace.Tracer] = None,
+    counters: Optional[obs_counters.CounterRegistry] = None,
 ) -> ChaosReport:
     """One full chaos run; ``plan=None`` means the fault-free control run.
 
@@ -153,8 +161,27 @@ def run_chaos_workload(
     at :data:`MIGRATE_AT`, the hard manager crash at :data:`CRASH_AT` —
     is identical with and without faults; only the injected chaos
     differs.  That is what makes the digest comparison meaningful.
+
+    ``tracer``/``counters`` optionally observe the run: they are installed
+    *after* the timing-context reset (a registry binds to the context it
+    first records under), and the non-interference suite asserts they
+    change no digest and no audit chain byte.
     """
     fresh_timing_context()
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(obs_trace.tracer_scope(tracer))
+        if counters is not None:
+            stack.enter_context(obs_counters.registry_scope(counters))
+        return _run_chaos_workload(seed, commands, plan, mode)
+
+
+def _run_chaos_workload(
+    seed: int,
+    commands: int,
+    plan: Optional[FaultPlan],
+    mode: AccessMode,
+) -> ChaosReport:
     platform_a = build_platform(mode, seed=seed, name="chaos-a")
     platform_b = build_platform(mode, seed=seed + 1, name="chaos-b")
 
@@ -266,6 +293,7 @@ def run_chaos_workload(
         },
         mean_recovery_us=(sum(recovery) / len(recovery)) if recovery else 0.0,
         elapsed_virtual_us=get_context().clock.now_us - start_us,
+        audit_chain_hex=platform_a.audit.chain_head().hex(),
     )
 
 
@@ -273,16 +301,23 @@ def run_chaos_demo(
     seed: int = 2026,
     commands: int = DEFAULT_COMMANDS,
     plan: Optional[FaultPlan] = None,
+    tracer: Optional[obs_trace.Tracer] = None,
+    counters: Optional[obs_counters.CounterRegistry] = None,
 ) -> Dict[str, object]:
     """The acceptance demo: fault-free vs chaotic vs chaotic-again.
 
     Returns a result dict and raises :class:`AssertionError` if any of the
     three robustness claims fails — state loss, fault starvation, or
-    non-determinism.
+    non-determinism.  ``tracer``/``counters`` observe the *chaotic* run
+    only; the determinism assertions then double as proof that observation
+    changed nothing.
     """
     chaos_plan = plan if plan is not None else default_chaos_plan(seed)
     clean = run_chaos_workload(seed=seed, commands=commands, plan=None)
-    chaotic = run_chaos_workload(seed=seed, commands=commands, plan=chaos_plan)
+    chaotic = run_chaos_workload(
+        seed=seed, commands=commands, plan=chaos_plan,
+        tracer=tracer, counters=counters,
+    )
     replay = run_chaos_workload(seed=seed, commands=commands, plan=chaos_plan)
 
     assert clean.total_faults == 0, "control run must be fault-free"

@@ -21,6 +21,7 @@ from repro.harness.builder import Platform, build_platform, fresh_timing_context
 from repro.metrics.recorder import LatencyRecorder
 from repro.metrics.stats import Summary, overhead_pct, summarize
 from repro.metrics.tables import format_table
+from repro.obs import trace as obs_trace
 from repro.sim.timing import CostLedger, get_context, ledger_scope
 from repro.workloads.mixes import (
     MIX_MIXED,
@@ -75,9 +76,12 @@ def run_command_latency(reps: int = 50, seed: int = 7) -> CommandLatencyResult:
         for op in OPERATIONS:
             # Warm once so first-use effects (session setup) don't skew.
             session.run_operation(op)
-            for _ in range(reps):
+            for rep in range(reps):
                 with recorder.measure(op):
-                    session.run_operation(op)
+                    with obs_trace.span(
+                        "experiment.op", op=op, mode=mode.value, rep=rep
+                    ):
+                        session.run_operation(op)
         results[mode.value] = recorder.summaries()
     return CommandLatencyResult(
         reps=reps, baseline=results["baseline"], improved=results["improved"]

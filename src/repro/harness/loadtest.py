@@ -20,6 +20,7 @@ from repro.core.config import AccessMode
 from repro.harness.builder import build_platform, fresh_timing_context
 from repro.metrics.stats import Summary, summarize
 from repro.metrics.tables import format_table
+from repro.obs import trace as obs_trace
 from repro.sim.engine import Simulator
 from repro.sim.timing import get_context
 from repro.workloads.mixes import MIX_MEASUREMENT, CommandMix, GuestSession
@@ -126,7 +127,11 @@ def run_latency_under_load(
                     yield manager_thread.acquire()
                     # Service: the command's real virtual-time cost accrues
                     # on the shared clock while we hold the manager.
-                    session.run_operation(entry.operation)
+                    with obs_trace.span(
+                        "loadtest.op", op=entry.operation,
+                        guest=entry.guest_index,
+                    ):
+                        session.run_operation(entry.operation)
                     manager_thread.release()
                     latencies.append(clock.now_us - submitted)
 

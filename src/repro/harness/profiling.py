@@ -14,12 +14,14 @@ are both thin wrappers around :func:`profile_pipeline`.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import AccessMode
 from repro.harness.builder import build_platform, fresh_timing_context
+from repro.obs import trace as obs_trace
 from repro.sim.timing import get_context
 from repro.tpm import marshal
 from repro.tpm.constants import TPM_ORD_PcrRead, TPM_SUCCESS
@@ -96,11 +98,15 @@ def profile_pipeline(
     mode: AccessMode = AccessMode.IMPROVED,
     seed: int = 2010,
     verify_audit: bool = True,
+    tracer: Optional["obs_trace.Tracer"] = None,
 ) -> PipelineProfile:
     """Drive ``commands`` PCRRead frames through the full split-driver stack.
 
     ``batch_size`` > 1 uses the batched ring submission path (one
     event-channel kick per batch); 1 uses the classic one-frame protocol.
+    ``tracer`` (if given) is installed for the timed loop only, so the
+    measured ops/s includes span-collection overhead — that is how the
+    pipeline benchmark records its traced-vs-untraced delta.
     """
     if commands <= 0:
         raise ReproError(f"need a positive command count, got {commands}")
@@ -117,25 +123,31 @@ def profile_pipeline(
 
     clock = get_context().clock
     virtual_start = clock.now_us
-    if batch_size <= 1:
-        transport = guest.frontend.transport
-        start = time.perf_counter()
-        for _ in range(commands):
-            transport(wire)
-        wall = time.perf_counter() - start
-    else:
-        transport_batch = getattr(guest.frontend, "transport_batch", None)
-        if transport_batch is None:
-            raise ReproError("this build has no batched transport")
-        full, rest = divmod(commands, batch_size)
-        batch = [wire] * batch_size
-        tail = [wire] * rest
-        start = time.perf_counter()
-        for _ in range(full):
-            transport_batch(batch)
-        if tail:
-            transport_batch(tail)
-        wall = time.perf_counter() - start
+    scope = (
+        obs_trace.tracer_scope(tracer)
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
+    with scope:
+        if batch_size <= 1:
+            transport = guest.frontend.transport
+            start = time.perf_counter()
+            for _ in range(commands):
+                transport(wire)
+            wall = time.perf_counter() - start
+        else:
+            transport_batch = getattr(guest.frontend, "transport_batch", None)
+            if transport_batch is None:
+                raise ReproError("this build has no batched transport")
+            full, rest = divmod(commands, batch_size)
+            batch = [wire] * batch_size
+            tail = [wire] * rest
+            start = time.perf_counter()
+            for _ in range(full):
+                transport_batch(batch)
+            if tail:
+                transport_batch(tail)
+            wall = time.perf_counter() - start
     virtual_us = clock.now_us - virtual_start
 
     monitor = platform.monitor

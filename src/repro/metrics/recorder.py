@@ -26,14 +26,37 @@ class VirtualTimer:
 
 
 class LatencyRecorder:
-    """Collects named virtual-latency samples and summarizes them."""
+    """Collects named virtual-latency samples and summarizes them.
+
+    A recorder is **bound to the timing context it first records under**:
+    ``fresh_timing_context()`` resets the virtual clock to zero, so
+    samples taken across that boundary belong to different measurement
+    epochs and must never be mixed into one summary.  Recording under a
+    different context raises :class:`~repro.util.errors.ReproError`;
+    :meth:`clear` drops the samples *and* the binding, so a recorder can
+    be deliberately reused for a new epoch.
+    """
 
     def __init__(self) -> None:
         self._samples: Dict[str, List[float]] = defaultdict(list)
+        self._ctx = None
+
+    def _check_context(self) -> None:
+        ctx = get_context()
+        if self._ctx is None:
+            self._ctx = ctx
+        elif ctx is not self._ctx:
+            raise ReproError(
+                "LatencyRecorder is bound to an earlier timing context; "
+                "samples recorded across a sim-context reset would silently "
+                "mix epochs — call clear() (or use a fresh recorder) after "
+                "fresh_timing_context()"
+            )
 
     def record(self, name: str, value_us: float) -> None:
         if value_us < 0:
             raise ReproError(f"negative latency {value_us} for {name!r}")
+        self._check_context()
         self._samples[name].append(value_us)
 
     def measure(self, name: str) -> "_Measurement":
@@ -57,6 +80,7 @@ class LatencyRecorder:
 
     def clear(self) -> None:
         self._samples.clear()
+        self._ctx = None
 
 
 class _Measurement:

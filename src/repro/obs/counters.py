@@ -1,0 +1,164 @@
+"""Process-wide counter/gauge registry with a text exposition format.
+
+Counters answer the questions the span trees are too granular for: how
+many commands of each ordinal class ran, the allow/deny split, the
+decision-cache hit ratio, batch sizes, injected faults and retries.
+Hook sites call the module-level :func:`inc` / :func:`set_gauge`; with no
+registry installed those are a single ``None`` check, so the disabled
+path costs nothing and can never perturb the simulation.
+
+A registry is **bound to the timing context it first records under**.
+``fresh_timing_context()`` starts a new measurement epoch (clock back to
+zero), and silently mixing counts across that reset is the same bug the
+:class:`~repro.metrics.recorder.LatencyRecorder` fix guards against — so
+a cross-context write raises :class:`~repro.util.errors.ReproError`
+instead.  ``reset()`` clears the counts *and* the binding.
+
+The exposition format is the Prometheus text convention (one
+``name{label="value",…} count`` line per series, sorted), minus the type
+metadata — enough for offline diffing and for tests to assert on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.sim.timing import get_context
+from repro.util.errors import ReproError
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _series_key(name: str, labels: Dict[str, object]) -> Tuple[str, _LabelKey]:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_series(name: str, labels: _LabelKey) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class CounterRegistry:
+    """Monotonic counters plus last-value gauges, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, _LabelKey], float] = {}
+        self._gauges: Dict[Tuple[str, _LabelKey], float] = {}
+        self._ctx = None
+
+    # -- context binding ---------------------------------------------------------
+
+    def _check_context(self) -> None:
+        ctx = get_context()
+        if self._ctx is None:
+            self._ctx = ctx
+        elif ctx is not self._ctx:
+            raise ReproError(
+                "CounterRegistry is bound to an earlier timing context; "
+                "counts recorded across a sim-context reset would mix "
+                "measurement epochs — call reset() (or use a fresh registry) "
+                "after fresh_timing_context()"
+            )
+
+    def reset(self) -> None:
+        """Drop all series and the context binding (new measurement epoch)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._ctx = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {name!r} cannot decrease (by {amount})")
+        self._check_context()
+        key = _series_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self._check_context()
+        self._gauges[_series_key(name, labels)] = float(value)
+
+    # -- queries -----------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        return self._counters.get(_series_key(name, labels), 0.0)
+
+    def gauge(self, name: str, **labels) -> Optional[float]:
+        return self._gauges.get(_series_key(name, labels))
+
+    def total(self, name: str) -> float:
+        """Sum of a counter across all label combinations."""
+        return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def series(self) -> Dict[str, float]:
+        """Flat {rendered series: value} view over counters and gauges."""
+        out = {
+            _render_series(name, labels): value
+            for (name, labels), value in self._counters.items()
+        }
+        out.update(
+            {
+                _render_series(name, labels): value
+                for (name, labels), value in self._gauges.items()
+            }
+        )
+        return out
+
+    # -- exposition ----------------------------------------------------------------
+
+    def exposition(self) -> str:
+        """The text exposition: sorted ``series value`` lines."""
+        lines = []
+        for rendered, value in sorted(self.series().items()):
+            if value == int(value):
+                lines.append(f"{rendered} {int(value)}")
+            else:
+                lines.append(f"{rendered} {value:.6g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- ambient installation -------------------------------------------------------------
+
+_current_registry: Optional[CounterRegistry] = None
+
+
+def install_registry(
+    registry: Optional[CounterRegistry],
+) -> Optional[CounterRegistry]:
+    """Install (or clear, with ``None``) the ambient registry."""
+    global _current_registry
+    previous = _current_registry
+    _current_registry = registry
+    return previous
+
+
+def current_registry() -> Optional[CounterRegistry]:
+    return _current_registry
+
+
+@contextlib.contextmanager
+def registry_scope(registry: CounterRegistry) -> Iterator[CounterRegistry]:
+    """``with registry_scope(reg):`` — counts land only inside the block."""
+    previous = install_registry(registry)
+    try:
+        yield registry
+    finally:
+        install_registry(previous)
+
+
+def inc(name: str, amount: float = 1.0, **labels) -> None:
+    """Hook entry point: count one event; no-op when no registry is on."""
+    registry = _current_registry
+    if registry is not None:
+        registry.inc(name, amount, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Hook entry point: record a last-value gauge; no-op when off."""
+    registry = _current_registry
+    if registry is not None:
+        registry.set_gauge(name, value, **labels)

@@ -1,0 +1,115 @@
+"""Where finished span trees go.
+
+* :class:`InMemorySink` — keeps every root tree; what tests and the CLI
+  tree renderer consume.
+* :class:`JsonlSink` — one JSON document per root tree, appended to a
+  file-like or path; the offline-analysis format
+  (``python -m repro chaos --trace out.jsonl``).
+* :class:`CountingSink` — discards trees, keeps totals; used when the
+  benchmark wants tracing's *cost* without its memory footprint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, TextIO
+
+from repro.obs.trace import Span, validate_span_tree
+from repro.util.errors import ReproError
+
+
+class InMemorySink:
+    """Collects root spans in order; the default sink for tests."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+
+    def emit(self, root: Span) -> None:
+        self.roots.append(root)
+
+    def validate(self) -> int:
+        """Structurally check every collected tree; returns span count."""
+        total = 0
+        for root in self.roots:
+            validate_span_tree(root)
+            total += sum(1 for _ in root.walk())
+        return total
+
+    def spans_named(self, name: str) -> List[Span]:
+        found: List[Span] = []
+        for root in self.roots:
+            found.extend(root.find(name))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.roots)
+
+
+class JsonlSink:
+    """Writes each root tree as one JSON line (the offline trace format)."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+        self.roots_written = 0
+
+    def emit(self, root: Span) -> None:
+        json.dump(root.to_dict(), self._stream, separators=(",", ":"))
+        self._stream.write("\n")
+        self.roots_written += 1
+
+
+class CountingSink:
+    """Counts emitted trees and spans without retaining them."""
+
+    def __init__(self) -> None:
+        self.roots = 0
+        self.spans = 0
+
+    def emit(self, root: Span) -> None:
+        self.roots += 1
+        self.spans += sum(1 for _ in root.walk())
+
+
+def load_jsonl(text: str) -> List[dict]:
+    """Parse a JSONL trace back into root-tree dicts."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def validate_tree_dict(node: dict, parent: Optional[dict] = None) -> int:
+    """The :func:`validate_span_tree` oracle for deserialized trees."""
+    start, end = node["virtual_us"]
+    if end is None or end < start:
+        raise ReproError(f"span {node['name']!r} has a broken interval")
+    if parent is not None:
+        p_start, p_end = parent["virtual_us"]
+        if start < p_start or end > p_end:
+            raise ReproError(
+                f"span {node['name']!r} is not nested in {parent['name']!r}"
+            )
+    count = 1
+    for child in node.get("children", ()):
+        count += validate_tree_dict(child, node)
+    return count
+
+
+def format_span_tree(root: Span, indent: str = "") -> List[str]:
+    """Human-readable tree: name, virtual duration, wall duration, attrs."""
+    attrs = ""
+    if root.attrs:
+        attrs = "  " + " ".join(f"{k}={v}" for k, v in sorted(root.attrs.items()))
+    lines = [
+        f"{indent}{root.name:<{max(1, 28 - len(indent))}} "
+        f"{root.duration_virtual_us:>10.2f} us "
+        f"{root.duration_wall_ns / 1000.0:>9.1f} wall-us{attrs}"
+    ]
+    for event in root.events:
+        extra = " ".join(
+            f"{k}={v}" for k, v in event.items() if k not in ("name", "t_us")
+        )
+        lines.append(
+            f"{indent}  ! {event['name']} @ {event['t_us']:.2f} us"
+            + (f"  {extra}" if extra else "")
+        )
+    for child in root.children:
+        lines.extend(format_span_tree(child, indent + "  "))
+    return lines

@@ -1,0 +1,280 @@
+"""Hierarchical trace spans over the command pipeline.
+
+A :class:`Span` covers one stage of a command's life (parse → authz →
+engine → serialize → ring/audit) and carries *both* timebases the
+simulator knows about:
+
+* **virtual microseconds** — read from the ambient
+  :class:`~repro.sim.timing.TimingContext` clock, so span durations add up
+  exactly to the cost-model charges made inside them;
+* **wall-clock nanoseconds** — ``time.perf_counter_ns`` on the host, so
+  the harness's own hot-path cost is attributable per stage.
+
+Instrumented code calls :func:`span` at named sites.  The contract is the
+same as the fault injector's :func:`~repro.faults.injector.fire`: with no
+tracer installed the call is one module-global ``None`` check returning a
+shared no-op span, charges nothing to the virtual clock, and touches no
+simulation state — so tracing can never alter behaviour, enabled or not.
+Spans only ever *read* the clock; they never advance it.
+
+A :class:`Tracer` keeps the open-span stack.  When a root span closes,
+the finished tree is emitted to the tracer's sink (see
+:mod:`repro.obs.sinks`).  Because the simulator is single-threaded and
+the split driver is synchronous, the stack nesting *is* the causal
+nesting: ``frontend.command`` encloses ``ring.send`` encloses
+``manager.dispatch`` encloses ``authz``/``engine``/``serialize``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.timing import get_context
+from repro.util.errors import ReproError
+
+
+class Span:
+    """One timed stage; a context manager that closes itself on exit."""
+
+    __slots__ = (
+        "name", "attrs", "start_virtual_us", "end_virtual_us",
+        "start_wall_ns", "end_wall_ns", "children", "events", "_tracer",
+        "_ctx",
+    )
+
+    def __init__(self, name: str, attrs: Optional[Dict] = None,
+                 tracer: Optional["Tracer"] = None) -> None:
+        self.name = name
+        self.attrs: Dict = dict(attrs) if attrs else {}
+        self._ctx = get_context()
+        self.start_virtual_us = self._ctx.clock.now_us
+        self.end_virtual_us: Optional[float] = None
+        self.start_wall_ns = time.perf_counter_ns()
+        self.end_wall_ns: Optional[int] = None
+        self.children: List["Span"] = []
+        self.events: List[Dict] = []
+        self._tracer = tracer
+
+    # -- recording ---------------------------------------------------------------
+
+    def set(self, key: str, value) -> "Span":
+        """Attach an attribute discovered mid-span (e.g. cache hit/miss)."""
+        self.attrs[key] = value
+        return self
+
+    def add_event(self, name: str, **attrs) -> None:
+        """A point-in-time annotation (e.g. an injected fault)."""
+        self.events.append(
+            {"name": name, "t_us": get_context().clock.now_us, **attrs}
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._tracer is not None:
+            self._tracer._finish(self)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_virtual_us is not None
+
+    @property
+    def duration_virtual_us(self) -> float:
+        if self.end_virtual_us is None:
+            raise ReproError(f"span {self.name!r} is still open")
+        return self.end_virtual_us - self.start_virtual_us
+
+    @property
+    def duration_wall_ns(self) -> int:
+        if self.end_wall_ns is None:
+            raise ReproError(f"span {self.name!r} is still open")
+        return self.end_wall_ns - self.start_wall_ns
+
+    # -- views -------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly nested view (the JSONL sink writes these)."""
+        out: Dict = {
+            "name": self.name,
+            "virtual_us": [self.start_virtual_us, self.end_virtual_us],
+            "wall_ns": [self.start_wall_ns, self.end_wall_ns],
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.events:
+            out["events"] = list(self.events)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every descendant (or self) with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    def __repr__(self) -> str:
+        state = (
+            f"{self.duration_virtual_us:.2f}us" if self.closed else "open"
+        )
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """The shared no-op span returned when tracing is off.
+
+    Every method is deliberately trivial: the disabled hot path must cost
+    one attribute lookup and a no-op context-manager round trip, nothing
+    more — and it must never touch the clock or any simulation state.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, key: str, value) -> "_NullSpan":
+        return self
+
+    def add_event(self, name: str, **attrs) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Owns the open-span stack and emits finished root trees to a sink."""
+
+    def __init__(self, sink=None) -> None:
+        if sink is None:
+            from repro.obs.sinks import InMemorySink
+
+            sink = InMemorySink()
+        self.sink = sink
+        self._stack: List[Span] = []
+        self.spans_started = 0
+        self.roots_emitted = 0
+
+    def start_span(self, name: str, attrs: Optional[Dict] = None) -> Span:
+        span = Span(name, attrs, tracer=self)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        self.spans_started += 1
+        return span
+
+    def _finish(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            innermost = self._stack[-1].name if self._stack else "<none>"
+            raise ReproError(
+                f"mismatched span nesting: closing {span.name!r} but the "
+                f"innermost open span is {innermost!r}"
+            )
+        self._stack.pop()
+        if get_context() is not span._ctx:
+            raise ReproError(
+                f"span {span.name!r} crosses a timing-context reset; its "
+                "virtual interval would mix measurement epochs — close all "
+                "spans before calling fresh_timing_context()"
+            )
+        span.end_virtual_us = span._ctx.clock.now_us
+        span.end_wall_ns = time.perf_counter_ns()
+        if not self._stack:
+            self.roots_emitted += 1
+            self.sink.emit(span)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def current_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+
+# -- ambient installation (mirrors faults.injector) ---------------------------------
+
+_current_tracer: Optional[Tracer] = None
+
+
+def install_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or clear, with ``None``) the ambient tracer."""
+    global _current_tracer
+    previous = _current_tracer
+    _current_tracer = tracer
+    return previous
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _current_tracer
+
+
+@contextlib.contextmanager
+def tracer_scope(tracer: Tracer) -> Iterator[Tracer]:
+    """``with tracer_scope(t):`` — spans are collected only inside."""
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        install_tracer(previous)
+
+
+def span(name: str, **attrs):
+    """Open a span at a hook site; a shared no-op when tracing is off."""
+    tracer = _current_tracer
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.start_span(name, attrs or None)
+
+
+def span_event(name: str, **attrs) -> None:
+    """Annotate the innermost open span (no-op when tracing is off)."""
+    tracer = _current_tracer
+    if tracer is None:
+        return
+    current = tracer.current_span()
+    if current is not None:
+        current.add_event(name, **attrs)
+
+
+def validate_span_tree(root: Span) -> None:
+    """Structural oracle: raises :class:`ReproError` on a malformed tree.
+
+    Checks, for every span in the tree: it is closed, its interval is
+    non-negative in both timebases, and every child's virtual interval
+    nests inside its parent's.  Orphans are impossible by construction
+    (spans attach to the stack top at start), but a tree handed across a
+    serialization boundary is re-checked here all the same.
+    """
+    for parent in root.walk():
+        if not parent.closed or parent.end_wall_ns is None:
+            raise ReproError(f"span {parent.name!r} was never closed")
+        if parent.end_virtual_us < parent.start_virtual_us:
+            raise ReproError(f"span {parent.name!r} ends before it starts")
+        if parent.end_wall_ns < parent.start_wall_ns:
+            raise ReproError(
+                f"span {parent.name!r} wall-clock interval is negative"
+            )
+        for child in parent.children:
+            if not child.closed:
+                raise ReproError(f"span {child.name!r} was never closed")
+            if (child.start_virtual_us < parent.start_virtual_us
+                    or child.end_virtual_us > parent.end_virtual_us):
+                raise ReproError(
+                    f"span {child.name!r} "
+                    f"[{child.start_virtual_us}, {child.end_virtual_us}] is "
+                    f"not nested in parent {parent.name!r} "
+                    f"[{parent.start_virtual_us}, {parent.end_virtual_us}]"
+                )

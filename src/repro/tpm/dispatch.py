@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.obs import trace as obs_trace
 from repro.sim.timing import charge
 from repro.tpm import marshal
 from repro.tpm.constants import (
@@ -113,14 +114,16 @@ class TpmExecutor:
         """
         charge("tpm.cmd.base")
         if parsed is None:
-            try:
-                parsed = marshal.parse_command(wire)
-            except (MarshalError, TpmError) as exc:
-                self.failures += 1
-                code = exc.code if isinstance(exc, TpmError) else TPM_FAIL
-                return marshal.build_response(code)
+            with obs_trace.span("parse"):
+                try:
+                    parsed = marshal.parse_command(wire)
+                except (MarshalError, TpmError) as exc:
+                    self.failures += 1
+                    code = exc.code if isinstance(exc, TpmError) else TPM_FAIL
+                    return marshal.build_response(code)
         self.commands_executed += 1
-        return self._run(parsed, locality)
+        with obs_trace.span("tpm.execute", ordinal=ordinal_name(parsed.ordinal)):
+            return self._run(parsed, locality)
 
     def _run(self, parsed: ParsedCommand, locality: int) -> bytes:
         fn = _HANDLERS.get(parsed.ordinal)

@@ -11,6 +11,7 @@ Dom0 would do.
 from __future__ import annotations
 
 from repro.faults import with_retry
+from repro.obs import trace as obs_trace
 from repro.util.errors import RetryExhausted, VtpmError
 from repro.vtpm.frontend import VtpmFrontend
 from repro.vtpm.manager import VtpmManager
@@ -60,15 +61,16 @@ class VtpmBackend:
         — the real driver's interrupt-retry path.  A fault that outlives
         the budget degrades into a ``TPM_FAIL`` frame, never a dead ring.
         """
-        try:
-            return with_retry(
-                self.manager.handle_command,
-                self.front_domid, self.instance_id, wire,
-                self.frontend.locality,
-                site="vtpm.backend.forward",
-            )
-        except RetryExhausted as exc:
-            return self.manager.fault_response(self.instance_id, exc)
+        with obs_trace.span("backend.forward", instance=self.instance_id):
+            try:
+                return with_retry(
+                    self.manager.handle_command,
+                    self.front_domid, self.instance_id, wire,
+                    self.frontend.locality,
+                    site="vtpm.backend.forward",
+                )
+            except RetryExhausted as exc:
+                return self.manager.fault_response(self.instance_id, exc)
 
     def _forward_batch(self, wires: list) -> list:
         """Hand a whole ring batch to the manager in one call.
@@ -77,10 +79,14 @@ class VtpmBackend:
         the batch, so this path has the same fault-degradation behaviour
         as :meth:`_forward` — just one ``vtpm.dispatch`` demux for the lot.
         """
-        return self.manager.handle_batch(
-            self.front_domid, self.instance_id, wires,
-            locality=self.frontend.locality,
-        )
+        with obs_trace.span(
+            "backend.forward_batch", instance=self.instance_id,
+            frames=len(wires),
+        ):
+            return self.manager.handle_batch(
+                self.front_domid, self.instance_id, wires,
+                locality=self.frontend.locality,
+            )
 
     def rebind(self, new_instance_id: int) -> None:
         """Point this connection at a different instance (the attack knob)."""

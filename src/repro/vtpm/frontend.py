@@ -7,6 +7,7 @@ exposes a bytes-in/bytes-out callable for :class:`~repro.tpm.TpmClient`.
 
 from __future__ import annotations
 
+from repro.obs import trace as obs_trace
 from repro.util.errors import VtpmError
 from repro.xen.domain import Domain
 from repro.xen.hypervisor import Xen
@@ -50,7 +51,8 @@ class VtpmFrontend:
                 f"vTPM front-end of {self.guest.name} is not connected"
             )
         self.guest.require_running()
-        return self.ring.send_command(wire)
+        with obs_trace.span("frontend.command", domid=self.guest.domid):
+            return self.ring.send_command(wire)
 
     def transport_batch(self, wires: list) -> list:
         """Send several TPM commands in one ring submission (one kick)."""
@@ -59,7 +61,10 @@ class VtpmFrontend:
                 f"vTPM front-end of {self.guest.name} is not connected"
             )
         self.guest.require_running()
-        return self.ring.send_batch(wires)
+        with obs_trace.span(
+            "frontend.batch", domid=self.guest.domid, frames=len(wires)
+        ):
+            return self.ring.send_batch(wires)
 
     def close(self) -> None:
         self.xen.store.write(self.guest.domid, f"{self.device_path}/state", "6")

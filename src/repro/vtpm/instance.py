@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.crypto.random_source import RandomSource
+from repro.obs import trace as obs_trace
 from repro.tpm import constants as tc
 from repro.tpm.device import TpmDevice
 from repro.util.errors import VtpmError
@@ -104,7 +105,8 @@ class VtpmInstance:
         parses every command once); it also lets us skip the state-image
         refresh for ordinals that cannot alter the serialized state.
         """
-        response = self.device.execute(wire, locality=locality, parsed=parsed)
+        with obs_trace.span("engine", instance=self.instance_id):
+            response = self.device.execute(wire, locality=locality, parsed=parsed)
         self.commands_handled += 1
         if parsed is not None:
             ordinal = parsed.ordinal
@@ -113,7 +115,8 @@ class VtpmInstance:
         else:
             ordinal = -1
         if ordinal not in _SERIALIZATION_NEUTRAL:
-            self.sync_to_memory()
+            with obs_trace.span("serialize", instance=self.instance_id):
+                self.sync_to_memory()
         return response
 
     def teardown(self) -> None:

@@ -17,6 +17,8 @@ from repro.core.identity import IdentityRegistry
 from repro.core.monitor import AccessControlMonitor, BaselineMonitor, Monitor
 from repro.core.protection import MemoryProtector
 from repro.faults import with_retry
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
 from repro.sim.timing import charge
 from repro.tpm import marshal
 from repro.tpm.constants import TPM_AUTHFAIL, TPM_FAIL
@@ -156,7 +158,8 @@ class VtpmManager:
         which is exactly what the monitor's binding check validates.
         """
         charge("vtpm.dispatch")
-        return self._dispatch_one(caller_domid, instance_id, wire, locality)
+        with obs_trace.span("manager.dispatch", instance=instance_id):
+            return self._dispatch_one(caller_domid, instance_id, wire, locality)
 
     def handle_batch(
         self,
@@ -176,17 +179,20 @@ class VtpmManager:
         without poisoning the rest of the batch.
         """
         charge("vtpm.dispatch")
+        obs_counters.inc("vtpm.batches")
+        obs_counters.inc("vtpm.batched_commands", len(wires))
         responses = []
         for wire in wires:
-            try:
-                responses.append(
-                    with_retry(
-                        self._dispatch_one, caller_domid, instance_id, wire,
-                        locality, site="vtpm.manager.batch",
+            with obs_trace.span("manager.dispatch", instance=instance_id):
+                try:
+                    responses.append(
+                        with_retry(
+                            self._dispatch_one, caller_domid, instance_id,
+                            wire, locality, site="vtpm.manager.batch",
+                        )
                     )
-                )
-            except RetryExhausted as exc:
-                responses.append(self.fault_response(instance_id, exc))
+                except RetryExhausted as exc:
+                    responses.append(self.fault_response(instance_id, exc))
         return responses
 
     def _dispatch_one(
@@ -220,6 +226,9 @@ class VtpmManager:
         """Graceful degradation: a subsystem failure becomes a ``TPM_FAIL``
         response frame plus an audit event — never a dead manager."""
         self.faults_surfaced += 1
+        obs_counters.inc("vtpm.fault_responses")
+        obs_trace.span_event("fault_degraded", instance=instance_id,
+                             error=str(exc))
         self.monitor.on_fault(instance_id, exc)
         return marshal.build_response(TPM_FAIL)
 

@@ -24,6 +24,8 @@ import struct
 from typing import Callable, Optional
 
 from repro.faults import FaultKind, fire, note_recovery, note_retry
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
 from repro.sim.timing import charge, get_context
 from repro.util.errors import RetryExhausted, RingError
 from repro.xen.memory import PAGE_SIZE, PhysicalMemory
@@ -190,6 +192,11 @@ class TpmRing:
             raise RingError(f"command of {len(command)} bytes exceeds page window")
         if self._backend is None:
             raise RingError("no back-end connected to this vTPM ring")
+        with obs_trace.span("ring.send", bytes=len(command)):
+            return self._send_command(command)
+
+    def _send_command(self, command: bytes) -> bytes:
+        obs_counters.inc("ring.kicks")
         charge("xen.ring.transfer", len(command))
         self._memory.write(
             self.front_domid,
@@ -221,6 +228,12 @@ class TpmRing:
             return []
         if self._backend is None:
             raise RingError("no back-end connected to this vTPM ring")
+        with obs_trace.span("ring.send_batch", frames=len(commands)):
+            return self._send_batch(commands)
+
+    def _send_batch(self, commands: list) -> list:
+        obs_counters.inc("ring.kicks")
+        obs_counters.inc("ring.batched_frames", len(commands))
         submission = _pack_vector(STATUS_BATCH, commands)
         if len(submission) > PAGE_SIZE:
             raise RingError(
@@ -278,6 +291,7 @@ class TpmRing:
                 dropped += 1
                 charge("fault.ring.timeout")
                 note_retry("xen.ring.notify")
+                obs_counters.inc("ring.kick_retries")
                 continue
             if event is not None and event.kind is FaultKind.RING_STALL:
                 # The transfer stalls but the kick still lands afterwards.

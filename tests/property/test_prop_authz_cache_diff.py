@@ -1,0 +1,136 @@
+"""Differential oracle: the authz decision cache is semantically invisible.
+
+Two improved-mode platforms run the *same* randomized interleaving of
+commands, policy revocations/re-grants, identity re-registrations (with
+and without a mutated kernel), guest churn (instance destroy + recreate,
+exercising domid/instance recycling) and explicit cache flushes.  The
+only difference between them is ``authz_cache`` on vs off.
+
+If the cache is correct it can never change a decision, so the oracle
+demands byte-identical responses command-for-command, an identical
+allow/deny sequence, and an equal timestamp-free decision chain hash
+(:meth:`~repro.core.audit.AuditLog.decision_chain_hash`).  The *full*
+chain hashes legitimately differ — a cache hit charges less virtual time
+than a policy walk, and the raw records timestamp each decision — which
+is exactly why the decision chain exists.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import AccessControlConfig, AccessMode
+from repro.harness.builder import build_platform
+from repro.tpm import marshal
+from repro.tpm.constants import TPM_ORD_PcrRead
+from repro.util.bytesio import ByteWriter
+
+_GUEST_NAMES = ("alice", "bob", "carol")
+
+
+def _pcr_read_wire(index: int) -> bytes:
+    return marshal.build_command(
+        TPM_ORD_PcrRead, ByteWriter().u32(index).getvalue()
+    )
+
+
+_ACTION = st.one_of(
+    st.tuples(st.just("cmd"), st.integers(0, 2), st.integers(0, 7)),
+    st.tuples(st.just("revoke"), st.integers(0, 2)),
+    st.tuples(st.just("grant"), st.integers(0, 2)),
+    st.tuples(st.just("reregister"), st.integers(0, 2), st.booleans()),
+    st.tuples(st.just("churn"), st.integers(0, 2)),
+    st.tuples(st.just("flush")),
+)
+
+
+class _World:
+    """One platform plus the bookkeeping to apply an action script."""
+
+    def __init__(self, cache_on: bool, seed: int) -> None:
+        config = AccessControlConfig.all_on()
+        if not cache_on:
+            config = config.without("authz_cache")
+        self.platform = build_platform(
+            AccessMode.IMPROVED,
+            seed=seed,
+            ac_config=config,
+            name=f"diff-{'on' if cache_on else 'off'}-{seed}",
+        )
+        self.guests = {
+            name: self.platform.add_guest(name) for name in _GUEST_NAMES
+        }
+        self.responses = []
+
+    def apply(self, action) -> None:
+        platform, kind = self.platform, action[0]
+        guest = self.guests[_GUEST_NAMES[action[1]]] if len(action) > 1 else None
+        if kind == "cmd":
+            self.responses.append(
+                guest.frontend.transport(_pcr_read_wire(action[2]))
+            )
+        elif kind == "revoke":
+            platform.policy.revoke_subject(guest.domain.measurement.hex())
+        elif kind == "grant":
+            platform.policy.grant_owner(
+                guest.domain.measurement.hex(), guest.instance_id
+            )
+        elif kind == "reregister":
+            platform.identities.forget(guest.domain.domid)
+            if action[2]:
+                guest.domain.kernel_image += b"-patched"
+            platform.identities.register(guest.domain)
+        elif kind == "churn":
+            name = _GUEST_NAMES[action[1]]
+            platform.remove_guest(name)
+            self.guests[name] = platform.add_guest(name)
+        elif kind == "flush":
+            platform.monitor.invalidate_cache()
+
+    def decisions(self):
+        return [
+            (r.subject, r.instance, r.operation, r.allowed)
+            for r in self.platform.audit.records()
+        ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(_ACTION, min_size=4, max_size=24), st.integers(0, 2**16))
+def test_cache_on_and_off_are_observationally_equal(actions, seed):
+    cached = _World(cache_on=True, seed=seed)
+    uncached = _World(cache_on=False, seed=seed)
+    for action in actions:
+        cached.apply(action)
+        uncached.apply(action)
+
+    # Byte-identical responses, command for command.
+    assert cached.responses == uncached.responses
+    # Identical (subject, instance, operation, verdict) audit sequence …
+    assert cached.decisions() == uncached.decisions()
+    # … and the timestamp-free chain hashes over it agree.
+    assert (
+        cached.platform.audit.decision_chain_hash()
+        == uncached.platform.audit.decision_chain_hash()
+    )
+    # Sanity: the cache-off monitor never caches.
+    assert uncached.platform.monitor.cache_hits == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**16))
+def test_hot_cache_diff_on_pure_command_streams(seed):
+    """With no mutations at all the cache is maximally hot — the easiest
+    place for a stale decision to hide is also checked."""
+    cached = _World(cache_on=True, seed=seed)
+    uncached = _World(cache_on=False, seed=seed)
+    script = [("cmd", i % 3, i % 8) for i in range(24)]
+    for action in script:
+        cached.apply(action)
+        uncached.apply(action)
+    assert cached.responses == uncached.responses
+    assert cached.platform.monitor.cache_hits > 0
+    assert (
+        cached.platform.audit.decision_chain_hash()
+        == uncached.platform.audit.decision_chain_hash()
+    )

@@ -26,6 +26,21 @@ class TestParser:
         )
         assert args.guests == 7
         assert args.mix == "attestation"
+        assert args.workload is None
+
+    def test_trace_workload_operand(self):
+        args = build_parser().parse_args(["trace", "pcrread", "--count", "3"])
+        assert args.workload == "pcrread"
+        assert args.count == 3
+        assert args.mode == "improved"
+
+    def test_chaos_and_experiment_take_trace_path(self):
+        assert build_parser().parse_args(
+            ["chaos", "--trace", "out.jsonl"]
+        ).trace == "out.jsonl"
+        assert build_parser().parse_args(
+            ["experiment", "table1", "--trace", "-"]
+        ).trace == "-"
 
 
 class TestCommands:
@@ -62,3 +77,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mem-dump-manager" in out
         assert "succeeded" in out
+
+    def test_trace_live_workload_prints_span_tree(self, capsys):
+        assert main(["trace", "pcrread", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "frontend.command" in out
+        assert "authz" in out
+        assert "engine" in out
+        assert "== counters ==" in out
+        assert 'ac.decisions{outcome="allow"}' in out
+
+    def test_trace_live_unknown_workload(self, capsys):
+        assert main(["trace", "frobnicate"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_chaos_single_with_trace_jsonl(self, capsys, tmp_path):
+        from repro.obs import load_jsonl, validate_tree_dict
+
+        out = tmp_path / "chaos.jsonl"
+        assert main(
+            ["chaos", "--single", "--commands", "40", "--trace", str(out)]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "trace:" in stdout and "counters:" in stdout
+        trees = load_jsonl(out.read_text())
+        assert trees
+        for tree in trees:
+            validate_tree_dict(tree)

@@ -1,0 +1,258 @@
+"""Unit tests for the observability layer (spans, counters, sinks) and the
+timing-context binding rules it shares with the latency recorder."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.builder import fresh_timing_context
+from repro.metrics.recorder import LatencyRecorder
+from repro.obs import (
+    NULL_SPAN,
+    CounterRegistry,
+    CountingSink,
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    current_registry,
+    current_tracer,
+    format_span_tree,
+    load_jsonl,
+    registry_scope,
+    span,
+    span_event,
+    tracer_scope,
+    validate_span_tree,
+    validate_tree_dict,
+)
+from repro.sim.timing import charge, get_context
+from repro.util.errors import ReproError
+
+
+class TestSpans:
+    def test_disabled_hook_returns_shared_null_span(self):
+        assert current_tracer() is None
+        s = span("anything", key="value")
+        assert s is NULL_SPAN
+        with s as inner:
+            inner.set("x", 1)
+            inner.add_event("ignored")
+        span_event("also-ignored")  # must not raise with no tracer
+
+    def test_span_carries_both_timebases(self):
+        tracer = Tracer(InMemorySink())
+        with tracer_scope(tracer):
+            with span("work") as s:
+                charge("tpm.cmd.base")
+        assert s.closed
+        assert s.duration_virtual_us > 0
+        assert s.duration_wall_ns > 0
+
+    def test_nesting_follows_the_stack(self):
+        tracer = Tracer(InMemorySink())
+        with tracer_scope(tracer):
+            with span("root"):
+                with span("child-a"):
+                    charge("tpm.cmd.base")
+                with span("child-b") as b:
+                    with span("grandchild"):
+                        pass
+                span_event("note", detail=7)
+        (root,) = tracer.sink.roots
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in b.children] == ["grandchild"]
+        assert root.events[0]["name"] == "note"
+        validate_span_tree(root)
+        assert tracer.open_spans == 0
+
+    def test_mismatched_close_raises(self):
+        tracer = Tracer(InMemorySink())
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")
+        with pytest.raises(ReproError, match="mismatched span nesting"):
+            tracer._finish(outer)
+
+    def test_span_crossing_context_reset_raises(self):
+        """A span left open across fresh_timing_context() would report a
+        virtual interval mixing two epochs — it must refuse instead."""
+        tracer = Tracer(InMemorySink())
+        with tracer_scope(tracer):
+            s = tracer.start_span("stale")
+            fresh_timing_context()
+            with pytest.raises(ReproError, match="timing-context reset"):
+                s.__exit__(None, None, None)
+
+    def test_validate_rejects_unclosed_and_nonnested(self):
+        tracer = Tracer(InMemorySink())
+        with tracer_scope(tracer):
+            with span("root") as root:
+                with span("child"):
+                    charge("tpm.cmd.base")
+        # Tamper: pull the child outside its parent's interval.
+        root.children[0].end_virtual_us = root.end_virtual_us + 1.0
+        with pytest.raises(ReproError, match="not nested"):
+            validate_span_tree(root)
+        root.children[0].end_virtual_us = None
+        with pytest.raises(ReproError, match="never closed"):
+            validate_span_tree(root)
+
+    def test_find_and_walk(self):
+        tracer = Tracer(InMemorySink())
+        with tracer_scope(tracer):
+            with span("a"):
+                with span("b"):
+                    pass
+                with span("b"):
+                    pass
+        (root,) = tracer.sink.roots
+        assert len(root.find("b")) == 2
+        assert [s.name for s in root.walk()] == ["a", "b", "b"]
+
+
+class TestCounters:
+    def test_disabled_hooks_are_noops(self):
+        from repro.obs import counters as obs_counters
+
+        assert current_registry() is None
+        obs_counters.inc("nothing")
+        obs_counters.set_gauge("nothing", 1.0)
+
+    def test_inc_value_total_and_labels(self):
+        reg = CounterRegistry()
+        reg.inc("ac.decisions", outcome="allow")
+        reg.inc("ac.decisions", outcome="allow")
+        reg.inc("ac.decisions", outcome="deny")
+        assert reg.value("ac.decisions", outcome="allow") == 2
+        assert reg.total("ac.decisions") == 3
+        assert reg.value("missing") == 0
+
+    def test_negative_increment_rejected(self):
+        reg = CounterRegistry()
+        with pytest.raises(ReproError, match="cannot decrease"):
+            reg.inc("x", -1)
+
+    def test_exposition_is_sorted_and_stable(self):
+        reg = CounterRegistry()
+        reg.inc("b.counter", cls="z")
+        reg.inc("b.counter", cls="a")
+        reg.inc("a.counter")
+        reg.set_gauge("c.gauge", 2.5)
+        assert reg.exposition() == (
+            "a.counter 1\n"
+            'b.counter{cls="a"} 1\n'
+            'b.counter{cls="z"} 1\n'
+            "c.gauge 2.5\n"
+        )
+
+    def test_scope_installs_and_restores(self):
+        from repro.obs import counters as obs_counters
+
+        reg = CounterRegistry()
+        with registry_scope(reg):
+            assert current_registry() is reg
+            obs_counters.inc("seen")
+        assert current_registry() is None
+        assert reg.value("seen") == 1
+
+
+class TestContextBinding:
+    """The shared epoch rule: observation state binds to the timing
+    context it first records under, and a cross-context write raises."""
+
+    def test_registry_rejects_cross_context_writes(self):
+        reg = CounterRegistry()
+        reg.inc("x")
+        fresh_timing_context()
+        with pytest.raises(ReproError, match="earlier timing context"):
+            reg.inc("x")
+
+    def test_registry_reset_rebinds(self):
+        reg = CounterRegistry()
+        reg.inc("x")
+        fresh_timing_context()
+        reg.reset()
+        reg.inc("x")
+        assert reg.value("x") == 1
+
+    def test_recorder_rejects_cross_context_samples(self):
+        """Regression: samples recorded across a sim-context reset used to
+        silently mix epochs into one summary."""
+        recorder = LatencyRecorder()
+        recorder.record("op", 10.0)
+        fresh_timing_context()
+        with pytest.raises(ReproError, match="earlier timing context"):
+            recorder.record("op", 1.0)
+        # And via the measuring context manager too.
+        with pytest.raises(ReproError, match="earlier timing context"):
+            with recorder.measure("op"):
+                pass
+
+    def test_recorder_clear_rebinds(self):
+        recorder = LatencyRecorder()
+        recorder.record("op", 10.0)
+        fresh_timing_context()
+        recorder.clear()
+        recorder.record("op", 2.0)
+        assert recorder.samples("op") == [2.0]
+
+    def test_fresh_recorder_per_context_is_unaffected(self):
+        recorder = LatencyRecorder()
+        recorder.record("op", 1.0)
+        fresh_timing_context()
+        other = LatencyRecorder()
+        other.record("op", 2.0)  # binds lazily to the current context
+        assert other.samples("op") == [2.0]
+
+
+class TestSinks:
+    def _tree(self):
+        tracer = Tracer(InMemorySink())
+        with tracer_scope(tracer):
+            with span("root", domid=1):
+                with span("child"):
+                    charge("tpm.cmd.base")
+                span_event("fault", kind="ring-stall")
+        return tracer
+
+    def test_in_memory_sink_validate_counts_spans(self):
+        tracer = self._tree()
+        assert tracer.sink.validate() == 2
+        assert len(tracer.sink) == 1
+        assert len(tracer.sink.spans_named("child")) == 1
+
+    def test_counting_sink_counts_without_retaining(self):
+        sink = CountingSink()
+        tracer = Tracer(sink)
+        with tracer_scope(tracer):
+            with span("root"):
+                with span("child"):
+                    pass
+        assert sink.roots == 1
+        assert sink.spans == 2
+
+    def test_jsonl_round_trip_and_dict_oracle(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        with out.open("w") as fh:
+            tracer = Tracer(JsonlSink(fh))
+            with tracer_scope(tracer):
+                with span("root"):
+                    with span("child"):
+                        charge("tpm.cmd.base")
+        (tree,) = load_jsonl(out.read_text())
+        assert validate_tree_dict(tree) == 2
+        broken = json.loads(json.dumps(tree))
+        broken["children"][0]["virtual_us"][1] = (
+            tree["virtual_us"][1] + 99.0
+        )
+        with pytest.raises(ReproError, match="not nested"):
+            validate_tree_dict(broken)
+
+    def test_format_span_tree_is_renderable(self):
+        tracer = self._tree()
+        lines = format_span_tree(tracer.sink.roots[0])
+        text = "\n".join(lines)
+        assert "root" in text and "child" in text
+        assert "! fault" in text
+        assert "domid=1" in text

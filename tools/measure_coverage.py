@@ -1,0 +1,116 @@
+"""Dependency-free line-coverage measurement for ``src/repro``.
+
+CI runs the real thing (``pytest --cov`` via pytest-cov, see
+``.github/workflows/ci.yml``); this script exists so the coverage floor
+can be measured and re-derived in environments where coverage.py is not
+installed.  It traces the tier-1 suite with :func:`sys.settrace`,
+records executed lines for every module under ``src/repro``, and
+compares them against the executable-line sets obtained by compiling
+each source file and walking its code objects (``co_lines`` — the same
+line universe coverage.py reports against).
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py [pytest args…]
+
+Prints a per-module table and the total percentage, and writes
+``coverage-lines.json`` next to the repo root with the raw numbers.
+Expect the traced suite to run several times slower than untraced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PREFIX = str(REPO_ROOT / "src" / "repro") + os.sep
+
+_executed: dict = {}
+
+
+def _tracer(frame, event, arg):
+    if event == "call":
+        filename = frame.f_code.co_filename
+        if filename.startswith(SRC_PREFIX):
+            return _tracer
+        return None
+    if event == "line":
+        filename = frame.f_code.co_filename
+        lines = _executed.get(filename)
+        if lines is None:
+            lines = _executed[filename] = set()
+        lines.add(frame.f_lineno)
+    return _tracer
+
+
+def _executable_lines(path: Path) -> set:
+    """All line numbers the compiler emits code for in ``path``."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(line for _, _, line in obj.co_lines() if line)
+        stack.extend(
+            const for const in obj.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    import pytest
+
+    pytest_args = list(argv if argv is not None else sys.argv[1:]) or [
+        "-x", "-q", "-p", "no:cacheprovider", str(REPO_ROOT / "tests")
+    ]
+    threading.settrace(_tracer)
+    sys.settrace(_tracer)
+    try:
+        rc = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if rc != 0:
+        print(f"pytest failed (exit {rc}); coverage not recorded",
+              file=sys.stderr)
+        return rc
+
+    total_exec = 0
+    total_hit = 0
+    rows = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        executable = _executable_lines(path)
+        hit = _executed.get(str(path), set()) & executable
+        total_exec += len(executable)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(executable) if executable else 100.0
+        rows.append((str(path.relative_to(REPO_ROOT / "src")), len(hit),
+                     len(executable), pct))
+
+    width = max(len(r[0]) for r in rows)
+    for name, hit, executable, pct in rows:
+        print(f"{name:<{width}}  {hit:>5}/{executable:<5}  {pct:6.1f}%")
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"{'TOTAL':<{width}}  {total_hit:>5}/{total_exec:<5}  "
+          f"{total_pct:6.1f}%")
+
+    (REPO_ROOT / "coverage-lines.json").write_text(json.dumps({
+        "total_pct": round(total_pct, 1),
+        "lines_hit": total_hit,
+        "lines_executable": total_exec,
+        "modules": {
+            name: {"hit": hit, "executable": executable,
+                   "pct": round(pct, 1)}
+            for name, hit, executable, pct in rows
+        },
+    }, indent=2) + "\n")
+    print(f"wrote {REPO_ROOT / 'coverage-lines.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
