@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.harness.builder import GuestHandle, Platform
-from repro.util.errors import TpmError
+from repro.util.errors import TpmError, VtpmError
 
 
 @dataclass
@@ -34,7 +34,12 @@ class RogueRebindAttack:
     def run(self) -> tuple[bool, str]:
         original = self.attacker.backend.instance_id
         victim_pcr_before = self.victim.client.pcr_read(10)
-        self.attacker.backend.rebind(self.victim.instance_id)
+        try:
+            self.attacker.backend.rebind(self.victim.instance_id)
+        except VtpmError as exc:
+            # Improved regime: the backend's fail-closed identity check
+            # refuses the re-bind before a single command can flow.
+            return False, f"backend refused the re-bind: {exc}"
         try:
             # Privacy: read victim platform state through the hijacked ring.
             leaked = self.attacker.client.pcr_read(10)

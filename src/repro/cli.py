@@ -126,6 +126,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         run_chaos_workload,
     )
 
+    if args.supervised:
+        return _cmd_chaos_supervised(args)
     plan = default_chaos_plan(args.seed)
     tracer, registry, closer = _open_trace(args.trace)
     with closer:
@@ -154,6 +156,77 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print(f"deterministic         : {result['deterministic']} "
           "(same seed → identical fault sequence)")
     _print_trace_summary(args.trace, tracer, registry)
+    return 0
+
+
+def _cmd_chaos_supervised(args: argparse.Namespace) -> int:
+    """Supervised chaos: wedge storm, probe flap, overload — survived."""
+    from repro.harness.chaos import (
+        SUPERVISED_COMMANDS,
+        run_supervised_chaos,
+        run_supervised_chaos_demo,
+        supervised_chaos_plan,
+    )
+
+    commands = args.commands if args.commands != 1000 else SUPERVISED_COMMANDS
+    plan = supervised_chaos_plan(args.seed)
+    tracer, registry, closer = _open_trace(args.trace)
+    with closer:
+        if args.single:
+            report = run_supervised_chaos(
+                seed=args.seed, commands=commands, plan=plan,
+                tracer=tracer, counters=registry,
+            )
+            for line in report.summary_lines():
+                print(line)
+            _print_trace_summary(args.trace, tracer, registry)
+            return 0
+        result = run_supervised_chaos_demo(
+            seed=args.seed, commands=commands, plan=plan,
+        )
+    chaotic = result["chaotic"]
+    print("== supervised chaotic run ==")
+    for line in chaotic.summary_lines():
+        print(line)
+    print()
+    print("== verdict ==")
+    print(f"zero silent drops     : {result['zero_dropped']} "
+          f"({chaotic.answered}/{chaotic.submitted} frames answered)")
+    print(f"supervision settled   : {chaotic.settled} "
+          "(every guest healthy-with-closed-breaker or explicitly failed)")
+    print(f"state preserved       : {chaotic.digests == result['clean'].digests} "
+          "(all guests' digests match the fault-free run)")
+    print(f"deterministic         : {result['deterministic']} "
+          "(same seed → identical fault + breaker sequences)")
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Run a short supervised scenario and print per-guest health."""
+    from repro.harness.chaos import run_supervised_chaos, supervised_chaos_plan
+
+    plan = supervised_chaos_plan(args.seed) if args.faults else None
+    report = run_supervised_chaos(
+        seed=args.seed, commands=args.commands, plan=plan,
+    )
+    print(f"plan={report.plan_name} seed={report.seed} "
+          f"commands={report.commands} settled={report.settled}")
+    for guest in sorted(report.health):
+        record = report.health[guest]
+        breaker_seq = report.breaker_sequences[guest]
+        shed = report.shed_counts.get(guest, {})
+        print(f"\n{guest} (instance {record['instance']}):")
+        print(f"  state     : {record['state']} "
+              f"(restarts={record['restarts']}, "
+              f"failures={record['failure_counts'] or 'none'})")
+        print(f"  breaker   : {record['breaker']} "
+              f"({len(breaker_seq)} state changes)")
+        print(f"  admission : admitted={report.admitted.get(guest, 0)} "
+              f"shed={sum(shed.values())}"
+              + (f" ({', '.join(f'{k}={v}' for k, v in sorted(shed.items()))})"
+                 if shed else ""))
+        if record["transitions"]:
+            print("  lifecycle : " + " ".join(record["transitions"]))
     return 0
 
 
@@ -407,6 +480,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--seed", type=int, default=2026)
     p_chaos.add_argument("--commands", type=int, default=1000)
+    p_chaos.add_argument("--supervised", action="store_true",
+                         help="run the supervised resilience demo (health "
+                              "state machine, breakers, admission control)")
     p_chaos.add_argument("--single", action="store_true",
                          help="one chaotic run only (skip control + replay)")
     p_chaos.add_argument("--trace", metavar="PATH", default=None,
@@ -483,6 +559,16 @@ def build_parser() -> argparse.ArgumentParser:
                            default="improved")
     p_profile.add_argument("--seed", type=int, default=2010)
     p_profile.set_defaults(fn=cmd_profile)
+
+    p_health = sub.add_parser(
+        "health",
+        help="run a short supervised scenario and print per-guest health",
+    )
+    p_health.add_argument("--seed", type=int, default=2026)
+    p_health.add_argument("--commands", type=int, default=200)
+    p_health.add_argument("--no-faults", dest="faults", action="store_false",
+                          help="fault-free control run (everything healthy)")
+    p_health.set_defaults(fn=cmd_health)
 
     p_report = sub.add_parser("report", help="full evaluation as markdown")
     p_report.add_argument("--quick", action="store_true")

@@ -70,6 +70,12 @@ class AuthorizationResult:
 class Monitor:
     """Interface both monitors implement."""
 
+    #: optional resilience gate: ``(instance_id, CommandClass) -> deny
+    #: reason or None``.  Installed by the supervisor; consulted by the
+    #: access-control monitor so degraded-mode ordinal gating is enforced
+    #: at the reference monitor, not only at the ring's admission layer.
+    health_gate = None
+
     def authorize(
         self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
         wire: bytes,
@@ -86,6 +92,11 @@ class Monitor:
 
     def on_fault(self, instance_id: int, exc: Exception) -> None:
         """Hook: a subsystem fault surfaced as a degraded response."""
+
+    def on_rebind_denied(
+        self, subject: str, instance_id: int, reason: str
+    ) -> None:
+        """Hook: a backend re-bind failed the identity-binding check."""
 
 
 class BaselineMonitor(Monitor):
@@ -198,6 +209,17 @@ class AccessControlMonitor(Monitor):
         ordinal = parsed.ordinal
         config = self.config
 
+        # Resilience gating runs before the decision cache: health state
+        # changes without bumping any cache epoch, so a cached allow must
+        # never bypass a quarantine.  The gate itself is charge-free.
+        if self.health_gate is not None:
+            veto = self.health_gate(instance_id, classify_ordinal(ordinal))
+            if veto is not None:
+                return self._deny(
+                    f"dom{caller.domid}", instance_id, ordinal_name(ordinal),
+                    veto,
+                )
+
         cache_key: Optional[Tuple] = None
         if config.authz_cache:
             epoch = (self._epoch, self.policy.version, self.identities.version)
@@ -291,6 +313,19 @@ class AccessControlMonitor(Monitor):
                 operation="FAULT-DEGRADED",
                 allowed=False,
                 reason=str(exc),
+            )
+
+    def on_rebind_denied(
+        self, subject: str, instance_id: int, reason: str
+    ) -> None:
+        """A backend re-bind failed the fail-closed identity check: count
+        it as a denial and chain it into the audit log — this is the rogue
+        re-binding attack being stopped at the configuration layer."""
+        self.denials += 1
+        obs_counters.inc("ac.decisions", outcome="deny")
+        if self.config.audit:
+            self.audit.append_buffered(
+                subject, instance_id, "VTPM_Rebind", False, reason
             )
 
     def _deny(

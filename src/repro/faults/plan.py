@@ -42,6 +42,13 @@ class FaultKind(Enum):
     MIGRATION_NET_DROP = "migration-net-drop"
     #: the destination platform crashes after issuing its offer
     MIGRATION_DEST_CRASH = "migration-dest-crash"
+    #: the (virtual) TPM wedges: every command hangs for a scheduler-visible
+    #: stall and then aborts — scheduled consecutively it burns through the
+    #: whole retry budget, which is what the supervisor quarantines on
+    WEDGE = "wedge"
+    #: a restarted instance fails its supervised health probe, so the
+    #: breaker re-opens and the instance flaps back into quarantine
+    FLAP = "flap"
 
 
 #: which hook site each kind is allowed to attack (sanity-checks plans)
@@ -54,6 +61,8 @@ KIND_SITES: Dict[FaultKind, str] = {
     FaultKind.DEVICE_TRANSIENT: "tpm.device.execute",
     FaultKind.MIGRATION_NET_DROP: "vtpm.migration.net",
     FaultKind.MIGRATION_DEST_CRASH: "vtpm.migration.dest",
+    FaultKind.WEDGE: "tpm.device.execute",
+    FaultKind.FLAP: "vtpm.supervisor.probe",
 }
 
 

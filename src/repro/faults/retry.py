@@ -7,13 +7,30 @@ growing backoff against the virtual clock, and try again.  Non-transient
 faults — the injector's model of a hard crash — propagate untouched, and
 a fault that survives every attempt surfaces as
 :class:`~repro.util.errors.RetryExhausted`.
+
+Two refinements keep the loop honest at fleet scale:
+
+* **bounded seeded jitter** — when many instances hit the same transient
+  fault at once, pure exponential backoff synchronizes their retry waves
+  (every instance resends in lockstep, re-colliding forever).  Each
+  backoff step is therefore stretched by a deterministic fraction in
+  ``[0, 0.5)`` derived by hashing ``(site, jitter_token, attempt)``, so
+  callers that pass a per-instance token (the back-end passes its
+  instance id) de-correlate without sacrificing replay determinism.  The
+  nominal step is the *minimum*, never shortened.
+* **total-backoff cap** — the cumulative backoff charged by one
+  ``with_retry`` episode is capped, so a caller that raises ``attempts``
+  cannot stall the virtual clock unboundedly; attempts beyond the cap
+  still run, they just stop paying.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Tuple, Type, TypeVar
+import hashlib
+from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.faults.injector import note_recovery, note_retry
+from repro.obs import counters as obs_counters
 from repro.sim.timing import charge, get_context
 from repro.util.errors import FaultInjected, RetryExhausted
 
@@ -23,10 +40,28 @@ T = TypeVar("T")
 DEFAULT_ATTEMPTS = 4
 #: first backoff step; doubles per retry (virtual microseconds)
 DEFAULT_BACKOFF_US = 250.0
+#: default ceiling on the *cumulative* backoff one episode may charge
+DEFAULT_MAX_TOTAL_BACKOFF_US = 60_000.0
+#: jitter stretches each step by up to this fraction (never shortens it)
+JITTER_FRAC = 0.5
 
 
 def is_transient(exc: Exception) -> bool:
     return isinstance(exc, FaultInjected) and exc.transient
+
+
+def backoff_jitter_frac(site: str, token: object, attempt: int) -> float:
+    """Deterministic jitter fraction in ``[0, JITTER_FRAC)``.
+
+    A pure function of (site, token, attempt) — no global state — so the
+    same seeded run replays the identical backoff schedule, while two
+    instances retrying the same site at the same moment diverge as long
+    as they pass different tokens.
+    """
+    digest = hashlib.sha256(
+        f"{site}|{token}|{attempt}".encode("utf-8")
+    ).digest()
+    return JITTER_FRAC * (int.from_bytes(digest[:8], "big") / 2.0 ** 64)
 
 
 def with_retry(
@@ -36,19 +71,26 @@ def with_retry(
     attempts: int = DEFAULT_ATTEMPTS,
     base_backoff_us: float = DEFAULT_BACKOFF_US,
     retry_on: Tuple[Type[Exception], ...] = (FaultInjected,),
+    jitter_token: Optional[object] = None,
+    max_total_backoff_us: float = DEFAULT_MAX_TOTAL_BACKOFF_US,
 ) -> T:
     """Run ``attempt(*args)`` with bounded backoff on transient injected faults.
 
     Each retry charges ``fault.retry.backoff`` for ``base_backoff_us * 2^i``
-    virtual microseconds, so recovery latency is measurable on the same
-    clock as everything else.  A successful retry is recorded as one
-    recovery (with the virtual time the whole episode took).
+    virtual microseconds (stretched by the seeded jitter when
+    ``jitter_token`` is given), so recovery latency is measurable on the
+    same clock as everything else.  The cumulative charge is capped at
+    ``max_total_backoff_us``.  A successful retry is recorded as one
+    recovery (with the virtual time the whole episode took); an exhausted
+    episode is counted per site in the ambient counter registry
+    (``faults.retry_exhausted{site=…}``) before it raises.
 
     Positional arguments are forwarded to ``attempt`` so per-call hot paths
     (the back-end forwarding every command) need not allocate a closure.
     """
     start_us = get_context().clock.now_us
     last: Exception | None = None
+    backoff_spent_us = 0.0
     for i in range(attempts):
         try:
             result = attempt(*args)
@@ -57,10 +99,17 @@ def with_retry(
                 raise
             last = exc
             note_retry(site)
-            charge("fault.retry.backoff", base_backoff_us * (2.0 ** i))
+            step_us = base_backoff_us * (2.0 ** i)
+            if jitter_token is not None:
+                step_us *= 1.0 + backoff_jitter_frac(site, jitter_token, i)
+            step_us = min(step_us, max(0.0, max_total_backoff_us - backoff_spent_us))
+            if step_us > 0.0:
+                backoff_spent_us += step_us
+                charge("fault.retry.backoff", step_us)
             continue
         if last is not None:
             note_recovery(site, get_context().clock.now_us - start_us)
         return result
     assert last is not None
+    obs_counters.inc("faults.retry_exhausted", site=site)
     raise RetryExhausted(site, attempts, last)

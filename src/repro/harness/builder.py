@@ -154,6 +154,30 @@ class Platform:
             )
         self.guests: Dict[str, GuestHandle] = {}
         self._key_bits = key_bits
+        #: the resilience supervisor, installed by :meth:`enable_supervision`
+        self.supervisor = None
+
+    # -- supervision ---------------------------------------------------------------
+
+    def enable_supervision(self, **kwargs):
+        """Install a resilience supervisor over this platform's backends.
+
+        Every already-attached guest is placed under supervision, as is
+        every guest added afterwards.  ``kwargs`` are forwarded to
+        :class:`~repro.resilience.supervisor.Supervisor` (thresholds,
+        breaker tuning, admission budgets).  Returns the supervisor.
+        """
+        if self.supervisor is not None:
+            raise ReproError(f"{self.name} is already supervised")
+        from repro.resilience.supervisor import Supervisor
+
+        self.supervisor = Supervisor(
+            self.manager, self.rng.fork("supervisor"), **kwargs
+        )
+        self.monitor.health_gate = self.supervisor.gate
+        for handle in self.guests.values():
+            self.supervisor.attach(handle.backend)
+        return self.supervisor
 
     # -- guests ---------------------------------------------------------------------
 
@@ -190,6 +214,8 @@ class Platform:
             instance_id=backend.instance_id,
         )
         self.guests[name] = handle
+        if self.supervisor is not None:
+            self.supervisor.attach(backend)
         return handle
 
     def remove_guest(self, name: str, persist_vtpm: bool = True) -> None:

@@ -99,6 +99,7 @@ def profile_pipeline(
     seed: int = 2010,
     verify_audit: bool = True,
     tracer: Optional["obs_trace.Tracer"] = None,
+    supervised: bool = False,
 ) -> PipelineProfile:
     """Drive ``commands`` PCRRead frames through the full split-driver stack.
 
@@ -107,12 +108,18 @@ def profile_pipeline(
     ``tracer`` (if given) is installed for the timed loop only, so the
     measured ops/s includes span-collection overhead — that is how the
     pipeline benchmark records its traced-vs-untraced delta.
+    ``supervised`` puts the back-end under the resilience supervisor, so
+    the measured ops/s includes the health/breaker/admission hooks — the
+    benchmark records that delta too (and asserts the hooks charge zero
+    virtual time on the fault-free path).
     """
     if commands <= 0:
         raise ReproError(f"need a positive command count, got {commands}")
     fresh_timing_context()
     platform = build_platform(mode, seed=seed, name="profile")
     guest = platform.add_guest("bench-guest")
+    if supervised:
+        platform.enable_supervision()
     wire = _pcr_read_wire()
     # Sanity: the frame must round-trip successfully before we time anything.
     first = marshal.parse_response(guest.frontend.transport(wire))

@@ -1,0 +1,50 @@
+"""Resilience: supervised instance lifecycle for the vTPM subsystem.
+
+The paper's monitor decides *who may talk to which instance*; this layer
+decides *whether an instance is fit to be talked to at all*, and fails
+closed when it is not:
+
+* :mod:`repro.resilience.health` — per-instance health state machine
+  (``healthy → degraded → quarantined → restarting → healthy|failed``)
+  with a closed, enforced transition table;
+* :mod:`repro.resilience.breaker` — per-guest circuit breaker with
+  seeded deterministic probe scheduling;
+* :mod:`repro.resilience.admission` — bounded queues, deadline
+  propagation and deterministic load shedding at the ring;
+* :mod:`repro.resilience.supervisor` — the coordinator that quarantines,
+  restarts through the crash-consistent path, re-attests against the
+  measured identity, and only then lets traffic back in.
+
+Everything is charge-free on the fault-free path and fully deterministic
+under a seed — the same discipline as fault injection and tracing.
+"""
+
+from repro.resilience.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    SHED_REASONS,
+)
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.health import (
+    FAILURE_KINDS,
+    HealthState,
+    HealthThresholds,
+    InstanceHealth,
+    LEGAL_TRANSITIONS,
+)
+from repro.resilience.supervisor import PROBE_WIRE, Supervisor
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BreakerState",
+    "CircuitBreaker",
+    "FAILURE_KINDS",
+    "HealthState",
+    "HealthThresholds",
+    "InstanceHealth",
+    "LEGAL_TRANSITIONS",
+    "PROBE_WIRE",
+    "SHED_REASONS",
+    "Supervisor",
+]

@@ -1,0 +1,375 @@
+"""The supervisor: watchdog, breaker owner, and restart driver.
+
+One :class:`Supervisor` oversees every supervised back-end on a platform.
+Per guest it owns an :class:`~repro.resilience.health.InstanceHealth`
+record, a :class:`~repro.resilience.breaker.CircuitBreaker` and an
+:class:`~repro.resilience.admission.AdmissionController`; the back-end
+feeds it outcome observations, the ring asks it for admission verdicts,
+and the reference monitor consults its :meth:`gate` for the authoritative
+degraded-mode ordinal gating.
+
+**Supervised restart.**  When a record reaches ``quarantined`` the
+supervisor immediately drives the recovery leg, inline and in virtual
+time: best-effort state flush, teardown, restore through the manager's
+crash-consistent :meth:`~repro.vtpm.manager.VtpmManager.restore_instance`
+path, **re-attestation** of the restored instance against the guest's
+measured launch identity, re-bind of the back-end (itself fail-closed),
+and a health probe (``TPM_GetTestResult``).  Only a probed, re-attested
+instance returns to ``healthy`` — and even then its breaker is forced
+open so traffic re-earns the path through a cooldown and a half-open
+probe.  A failed re-attestation, a failed restore, or an exhausted
+restart budget moves the record to ``failed``, where every ordinal is
+refused forever.
+
+Every hook on the fault-free path is charge-free: supervision observes
+the clock but never advances it unless a fault actually fired (the same
+neutrality discipline tracing follows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.policy import CommandClass
+from repro.crypto.random_source import RandomSource
+from repro.faults import FaultKind, fire, with_retry
+from repro.obs import counters as obs_counters
+from repro.obs import trace as obs_trace
+from repro.resilience.admission import AdmissionConfig, AdmissionController
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.health import (
+    HealthState,
+    HealthThresholds,
+    InstanceHealth,
+)
+from repro.sim.timing import charge
+from repro.tpm.constants import TPM_ORD_GetTestResult, TPM_FAIL, TPM_SUCCESS
+from repro.tpm.marshal import build_command
+from repro.util.errors import (
+    IdentityError,
+    ReproError,
+    RetryExhausted,
+    SupervisionError,
+)
+
+#: a command slower than this (virtual us) counts as a deadline miss —
+#: far above any healthy single command, but a retry storm trips it
+DEFAULT_COMMAND_DEADLINE_US = 100_000.0
+
+#: the probe everyone agrees is harmless: TPM_GetTestResult (READ class,
+#: serialization-neutral, no auth)
+PROBE_WIRE = build_command(TPM_ORD_GetTestResult, b"")
+
+
+def _return_code(response: bytes) -> int:
+    return int.from_bytes(response[6:10], "big") if len(response) >= 10 else -1
+
+
+class Supervisor:
+    """Platform-wide resilience coordinator."""
+
+    def __init__(
+        self,
+        manager,
+        rng: RandomSource,
+        thresholds: Optional[HealthThresholds] = None,
+        admission: Optional[AdmissionConfig] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_cooldown_us: float = 50_000.0,
+        command_deadline_us: float = DEFAULT_COMMAND_DEADLINE_US,
+    ) -> None:
+        self.manager = manager
+        self._rng = rng
+        self.thresholds = thresholds or HealthThresholds()
+        self.default_admission = admission or AdmissionConfig()
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_cooldown_us = breaker_cooldown_us
+        self.command_deadline_us = command_deadline_us
+        self._records: Dict[str, InstanceHealth] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._admission: Dict[str, AdmissionController] = {}
+        self._backends: Dict[str, object] = {}
+        self._by_instance: Dict[int, InstanceHealth] = {}
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, backend, admission: Optional[AdmissionConfig] = None) -> None:
+        """Put one back-end under supervision (idempotent per guest)."""
+        vm = backend.frontend.guest
+        if vm.uuid in self._records:
+            raise SupervisionError(f"guest {vm.name} is already supervised")
+        record = InstanceHealth(
+            vm_uuid=vm.uuid,
+            instance_id=backend.instance_id,
+            thresholds=self.thresholds,
+        )
+        self._records[vm.uuid] = record
+        self._by_instance[backend.instance_id] = record
+        self._breakers[vm.uuid] = CircuitBreaker(
+            name=vm.name,
+            rng=self._rng.fork(f"breaker-{vm.uuid}"),
+            failure_threshold=self.breaker_failure_threshold,
+            cooldown_us=self.breaker_cooldown_us,
+        )
+        self._admission[vm.uuid] = AdmissionController(
+            vm.uuid, admission or self.default_admission
+        )
+        self._backends[vm.uuid] = backend
+        backend.attach_supervision(self)
+
+    def record_for(self, vm_uuid: str) -> InstanceHealth:
+        return self._records[vm_uuid]
+
+    def breaker_for(self, vm_uuid: str) -> CircuitBreaker:
+        return self._breakers[vm_uuid]
+
+    def admission_for(self, vm_uuid: str) -> AdmissionController:
+        return self._admission[vm_uuid]
+
+    # -- ring-side: admission ------------------------------------------------------
+
+    def admit(self, backend, wires: List[bytes]) -> List[Optional[bytes]]:
+        """Verdicts for one ring notify's frames (None = admitted)."""
+        vm_uuid = backend.frontend.guest.uuid
+        record = self._records.get(vm_uuid)
+        if record is None:
+            return [None] * len(wires)
+        return self._admission[vm_uuid].verdicts(
+            wires, record, self._breakers[vm_uuid]
+        )
+
+    # -- monitor-side: the authoritative ordinal gate ------------------------------
+
+    def gate(self, instance_id: int, command_class: CommandClass
+             ) -> Optional[str]:
+        """Deny reason for (instance, class) under its health state, or None."""
+        record = self._by_instance.get(instance_id)
+        if record is None:
+            return None
+        state = record.state
+        if state is HealthState.FAILED:
+            return f"instance {instance_id} is failed: all ordinals refused"
+        if state is HealthState.QUARANTINED:
+            return (
+                f"instance {instance_id} is quarantined pending supervised "
+                f"restart"
+            )
+        if (
+            state in (HealthState.DEGRADED, HealthState.RESTARTING)
+            and command_class is not CommandClass.READ
+        ):
+            return (
+                f"instance {instance_id} is {state.value}: only read-only "
+                f"ordinals admitted"
+            )
+        return None
+
+    # -- backend-side: outcome observations ----------------------------------------
+
+    def observe_response(
+        self, backend, wire: bytes, response: bytes, elapsed_us: float
+    ) -> None:
+        """One forwarded command completed; update health and breaker.
+
+        The breaker measures *responsiveness*: any answered frame except a
+        degraded ``TPM_FAIL`` counts as breaker success (an auth denial
+        still proves the instance alive).  Health is stricter: only
+        ``TPM_SUCCESS`` inside the deadline feeds the recovery streak.
+        """
+        vm_uuid = backend.frontend.guest.uuid
+        record = self._records.get(vm_uuid)
+        if record is None:
+            return
+        self._admission[vm_uuid].observe_service_us(elapsed_us)
+        breaker = self._breakers[vm_uuid]
+        rc = _return_code(response)
+        if rc == TPM_FAIL:
+            record.note_failure("tpm-fail")
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+            if elapsed_us > self.command_deadline_us:
+                record.note_failure("deadline-miss")
+            elif rc == TPM_SUCCESS:
+                record.note_success()
+        if record.state is HealthState.QUARANTINED:
+            self._supervised_restart(backend)
+
+    def on_exhausted(self, backend, exc: RetryExhausted) -> None:
+        """A ``with_retry`` episode burned its whole budget."""
+        vm_uuid = backend.frontend.guest.uuid
+        record = self._records.get(vm_uuid)
+        if record is None:
+            return
+        record.note_failure("retry-exhausted")
+        self._breakers[vm_uuid].record_failure()
+        if record.state is HealthState.QUARANTINED:
+            self._supervised_restart(backend)
+
+    def on_rebind(self, backend, new_instance_id: int) -> None:
+        """The back-end was re-pointed (supervised restart or manager
+        crash-recovery): key the health record to the new instance."""
+        record = self._records.get(backend.frontend.guest.uuid)
+        if record is None:
+            return
+        if self._by_instance.get(record.instance_id) is record:
+            del self._by_instance[record.instance_id]
+        record.instance_id = new_instance_id
+        self._by_instance[new_instance_id] = record
+
+    # -- the supervised restart leg -------------------------------------------------
+
+    def _reattest(self, vm, restored) -> bool:
+        """The restored instance must still belong to the measured identity."""
+        if restored.bound_identity_hex is None or self.manager.identities is None:
+            return True  # baseline regime: no identity to attest against
+        try:
+            identity = self.manager.identities.verify_current(vm)
+        except IdentityError:
+            return False
+        return identity.hex == restored.bound_identity_hex
+
+    def _run_probe(self, vm, instance_id: int) -> bool:
+        """Health-probe one instance through the monitored command path."""
+        with obs_trace.span("supervisor.probe", instance=instance_id):
+            event = fire("vtpm.supervisor.probe", vm=vm.name,
+                         instance=instance_id)
+            if event is not None and event.kind is FaultKind.FLAP:
+                obs_trace.span_event("probe_flap", instance=instance_id)
+                return False
+            try:
+                response = with_retry(
+                    self.manager.handle_command,
+                    vm.domid, instance_id, PROBE_WIRE, 0,
+                    site="vtpm.supervisor.probe",
+                )
+            except RetryExhausted:
+                return False
+            return _return_code(response) == TPM_SUCCESS
+
+    def _supervised_restart(self, backend) -> None:
+        """Drive ``quarantined → restarting → healthy|failed``, retrying
+        flapped restarts until the budget runs out."""
+        vm = backend.frontend.guest
+        record = self._records[vm.uuid]
+        breaker = self._breakers[vm.uuid]
+        while record.state is HealthState.QUARANTINED:
+            if record.restarts >= record.thresholds.max_restarts:
+                record.transition(HealthState.FAILED,
+                                  "restart-budget-exhausted")
+                obs_counters.inc("resilience.restarts", outcome="failed",
+                                 vm=vm.uuid)
+                return
+            record.restarts += 1
+            record.transition(HealthState.RESTARTING,
+                              f"supervised-restart-{record.restarts}")
+            charge("supervisor.restart")
+            with obs_trace.span("supervisor.restart", vm=vm.name,
+                                attempt=record.restarts):
+                try:
+                    self.manager.save_instance(record.instance_id)
+                except ReproError:
+                    pass  # a wedged flush loses nothing: restore uses the
+                    # last committed, generation-stamped checkpoint
+                self.manager.destroy_instance(record.instance_id,
+                                              persist=False)
+                try:
+                    restored = self.manager.restore_instance(vm)
+                except ReproError as exc:
+                    record.transition(HealthState.FAILED,
+                                      f"restore-failed: {exc}")
+                    obs_counters.inc("resilience.restarts", outcome="failed",
+                                     vm=vm.uuid)
+                    return
+                if not self._reattest(vm, restored):
+                    record.transition(HealthState.FAILED,
+                                      "re-attestation-failed")
+                    obs_counters.inc("resilience.restarts", outcome="failed",
+                                     vm=vm.uuid)
+                    return
+                backend.rebind(restored.instance_id)  # keys the record too
+                if self._run_probe(vm, restored.instance_id):
+                    record.transition(HealthState.HEALTHY, "restart-probe-ok")
+                    record.consecutive_failures = 0
+                    record.consecutive_successes = 0
+                    # Traffic still re-earns the path: cooldown, then one
+                    # half-open probe, then the breaker closes.
+                    breaker.force_open()
+                    obs_counters.inc("resilience.restarts",
+                                     outcome="recovered", vm=vm.uuid)
+                else:
+                    record.transition(HealthState.QUARANTINED, "probe-flap")
+                    obs_counters.inc("resilience.restarts", outcome="flap",
+                                     vm=vm.uuid)
+
+    # -- end-of-run settling ---------------------------------------------------------
+
+    def drain(self, max_wait_us: float = 1_000_000.0) -> None:
+        """Settle every guest: wait out cooldowns (charged as
+        ``supervisor.wait``) and probe until each record is ``healthy``
+        with a closed breaker, or terminally ``failed``.  Bounded by
+        ``max_wait_us`` of waiting plus a probe-count safety cap."""
+        budget = max_wait_us
+        with obs_trace.span("supervisor.drain"):
+            for vm_uuid, record in self._records.items():
+                backend = self._backends[vm_uuid]
+                breaker = self._breakers[vm_uuid]
+                for _ in range(64):  # probe cap per guest
+                    if record.terminal:
+                        break
+                    if record.state is HealthState.QUARANTINED:
+                        self._supervised_restart(backend)
+                        continue
+                    if (
+                        breaker.state is BreakerState.CLOSED
+                        and record.state is HealthState.HEALTHY
+                    ):
+                        break
+                    wait = breaker.remaining_cooldown_us()
+                    if wait > 0.0:
+                        if wait > budget:
+                            break
+                        charge("supervisor.wait", wait)
+                        budget -= wait
+                    # A real probe through the full forwarded path: its
+                    # outcome feeds back via observe_response.
+                    if breaker.state is BreakerState.OPEN:
+                        breaker.allow()  # cooldown elapsed → half-open slot
+                    backend._forward(PROBE_WIRE)
+
+    # -- exposition -------------------------------------------------------------------
+
+    def settled(self) -> bool:
+        """True when every record is healthy-with-closed-breaker or failed."""
+        for vm_uuid, record in self._records.items():
+            if record.terminal:
+                continue
+            if record.state is not HealthState.HEALTHY:
+                return False
+            if self._breakers[vm_uuid].state is not BreakerState.CLOSED:
+                return False
+        return True
+
+    def status(self) -> List[Dict[str, object]]:
+        """One dict per supervised guest (CLI ``health`` exposition)."""
+        out = []
+        for vm_uuid, record in self._records.items():
+            breaker = self._breakers[vm_uuid]
+            admission = self._admission[vm_uuid]
+            entry = record.describe()
+            entry.update(
+                {
+                    "guest": self._backends[vm_uuid].frontend.guest.name,
+                    "breaker": breaker.state.value,
+                    "breaker_events": [
+                        f"{state}@{t_us:.0f}us" for state, t_us in breaker.events
+                    ],
+                    "shed": dict(admission.shed_counts),
+                    "admitted": admission.admitted,
+                    "service_estimate_us": round(
+                        admission.service_estimate_us, 2
+                    ),
+                }
+            )
+            out.append(entry)
+        return out

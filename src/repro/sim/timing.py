@@ -59,7 +59,11 @@ _DEFAULT_COSTS: Dict[str, Tuple[float, float]] = {
     "fault.retry.backoff": (0.0, 1.0),       # units = microseconds of backoff slept
     "fault.storage.torn": (1_100.0, 0.0),    # partial flush before the cut
     "fault.device.transient": (55.0, 0.0),   # aborted bus transaction
+    "fault.device.wedge": (30_000.0, 0.0),   # wedged command: driver-timeout-class hang
     "vtpm.migration.retry": (6_500.0, 0.0),  # tear down + rebuild one transfer attempt
+    # -- supervision (resilience layer; charges only on the fault path) -----
+    "supervisor.wait": (0.0, 1.0),           # units = microseconds waited for a probe window
+    "supervisor.restart": (1_500.0, 0.0),    # teardown + re-verify bookkeeping per restart
     # -- access-control layer (the contribution) ----------------------------
     "ac.identity.check": (0.35, 0.0),      # cached measurement compare
     "ac.identity.measure": (2.0, 0.0),     # plus explicit hash charges

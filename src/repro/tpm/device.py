@@ -62,6 +62,12 @@ class TpmDevice:
         if event is not None and event.kind is FaultKind.DEVICE_TRANSIENT:
             charge("fault.device.transient")
             event.raise_fault()
+        if event is not None and event.kind is FaultKind.WEDGE:
+            # A wedged part hangs for a driver-timeout-class stall before the
+            # bus transaction aborts — far costlier than a transient blip, and
+            # scheduled consecutively it exhausts the caller's retry budget.
+            charge("fault.device.wedge")
+            event.raise_fault()
         if not self.powered:
             # An unpowered part does not answer at all; model as IO error frame.
             from repro.tpm.constants import TPM_IOERROR

@@ -23,6 +23,7 @@ __all__ = [
     "RingError",
     "VtpmError",
     "MigrationError",
+    "SupervisionError",
     "AccessControlError",
     "AccessDenied",
     "IdentityError",
@@ -96,6 +97,16 @@ class VtpmError(ReproError):
 
 class MigrationError(VtpmError):
     """vTPM live-migration protocol failure."""
+
+
+class SupervisionError(VtpmError):
+    """The resilience layer was driven into an illegal state.
+
+    Raised for illegal health-state transitions and for supervisor misuse
+    (e.g. restarting an instance that is not quarantined).  The transition
+    table itself is the security invariant — a supervisor bug must surface
+    loudly, never silently route traffic to a half-recovered instance.
+    """
 
 
 class AccessControlError(ReproError):

@@ -5,14 +5,23 @@ forwards each command to the manager **prefixed with an instance number**
 — which in stock Xen is whatever the backend's configuration says.  That
 configuration is exactly what the rogue re-binding attack edits, so the
 backend exposes ``rebind`` to let the attack toolkit do what a compromised
-Dom0 would do.
+Dom0 would do.  In the improved regime ``rebind`` fails closed: a new
+instance number is accepted only if the target instance is bound to the
+very identity this ring's front-end domain measures to.
+
+A backend can additionally be placed under supervision
+(:meth:`attach_supervision`): the supervisor then issues admission
+verdicts at the ring, observes every forwarded command's outcome, and
+drives quarantine/restart when the instance goes bad.  Unsupervised
+backends keep the exact original behaviour.
 """
 
 from __future__ import annotations
 
 from repro.faults import with_retry
 from repro.obs import trace as obs_trace
-from repro.util.errors import RetryExhausted, VtpmError
+from repro.sim.timing import get_context
+from repro.util.errors import IdentityError, RetryExhausted, VtpmError
 from repro.vtpm.frontend import VtpmFrontend
 from repro.vtpm.manager import VtpmManager
 from repro.xen.hypervisor import Xen
@@ -20,6 +29,9 @@ from repro.xen.hypervisor import Xen
 
 class VtpmBackend:
     """One back-end connection: (guest ring) → (manager, instance id)."""
+
+    #: the owning :class:`~repro.resilience.supervisor.Supervisor`, if any
+    supervision = None
 
     def __init__(
         self,
@@ -48,6 +60,18 @@ class VtpmBackend:
         )
         frontend.mark_connected()
 
+    # -- supervision -------------------------------------------------------------
+
+    def attach_supervision(self, supervisor) -> None:
+        """Route this ring's frames through the supervisor's admission
+        control and report every forwarded outcome back to it."""
+        self.supervision = supervisor
+        self.frontend.ring.set_admission(
+            lambda wires: supervisor.admit(self, wires)
+        )
+
+    # -- the forwarding path --------------------------------------------------------
+
     def _forward(self, wire: bytes) -> bytes:
         """Prefix the configured instance number and hand to the manager.
 
@@ -58,19 +82,36 @@ class VtpmBackend:
         Transient faults below the manager (an aborted device transaction)
         abort the command *before* it touches TPM state, so the back-end
         resends the identical wire bytes with bounded virtual-time backoff
-        — the real driver's interrupt-retry path.  A fault that outlives
-        the budget degrades into a ``TPM_FAIL`` frame, never a dead ring.
+        — the real driver's interrupt-retry path.  The backoff is jittered
+        per instance so a storm hitting many instances does not retry in
+        lockstep.  A fault that outlives the budget degrades into a
+        ``TPM_FAIL`` frame, never a dead ring.
         """
+        supervisor = self.supervision
         with obs_trace.span("backend.forward", instance=self.instance_id):
+            # The latency clock read exists only for the supervisor's
+            # deadline watchdog; the unsupervised hot path skips it.
+            start_us = (
+                get_context().clock.now_us if supervisor is not None else 0.0
+            )
             try:
-                return with_retry(
+                response = with_retry(
                     self.manager.handle_command,
                     self.front_domid, self.instance_id, wire,
                     self.frontend.locality,
                     site="vtpm.backend.forward",
+                    jitter_token=self.instance_id,
                 )
             except RetryExhausted as exc:
+                if supervisor is not None:
+                    supervisor.on_exhausted(self, exc)
                 return self.manager.fault_response(self.instance_id, exc)
+            if supervisor is not None:
+                supervisor.observe_response(
+                    self, wire, response,
+                    get_context().clock.now_us - start_us,
+                )
+            return response
 
     def _forward_batch(self, wires: list) -> list:
         """Hand a whole ring batch to the manager in one call.
@@ -78,18 +119,78 @@ class VtpmBackend:
         The manager applies the bounded-retry envelope per command inside
         the batch, so this path has the same fault-degradation behaviour
         as :meth:`_forward` — just one ``vtpm.dispatch`` demux for the lot.
+        Under supervision each frame's outcome is observed with the
+        batch-average latency (individual frames are not separately
+        clocked inside one notify).
         """
+        supervisor = self.supervision
         with obs_trace.span(
             "backend.forward_batch", instance=self.instance_id,
             frames=len(wires),
         ):
-            return self.manager.handle_batch(
+            start_us = get_context().clock.now_us
+            responses = self.manager.handle_batch(
                 self.front_domid, self.instance_id, wires,
                 locality=self.frontend.locality,
             )
+            if supervisor is not None and wires:
+                per_frame_us = (
+                    get_context().clock.now_us - start_us
+                ) / len(wires)
+                for wire, response in zip(wires, responses):
+                    supervisor.observe_response(
+                        self, wire, response, per_frame_us
+                    )
+            return responses
+
+    # -- re-binding (the attack knob, now fail-closed) -------------------------------
 
     def rebind(self, new_instance_id: int) -> None:
-        """Point this connection at a different instance (the attack knob)."""
+        """Point this connection at a different instance.
+
+        This is the knob a compromised Dom0 turns in the rogue re-binding
+        attack — and in the baseline regime it still works exactly that
+        way.  When the target instance carries a measured-identity binding
+        (improved regime), the backend re-checks it here: the ring's
+        front-end domain must *currently measure* to the identity the
+        target instance is bound to.  A mismatch raises — fail closed —
+        and is reported to the monitor for the audit trail; the old
+        binding stays in force.
+        """
+        manager = self.manager
+        target = manager._instances.get(new_instance_id)
+        if (
+            target is not None
+            and target.bound_identity_hex is not None
+            and manager.identities is not None
+        ):
+            subject = f"dom{self.front_domid}"
+            try:
+                identity = manager.identities.verify_current(
+                    self.frontend.guest
+                )
+                subject = identity.hex
+            except IdentityError as exc:
+                reason = (
+                    f"rebind refused: instance {new_instance_id} is bound "
+                    f"to identity {target.bound_identity_hex[:12]}… but the "
+                    f"front-end identity is unverifiable: {exc}"
+                )
+                manager.monitor.on_rebind_denied(
+                    subject, new_instance_id, reason
+                )
+                raise VtpmError(reason) from None
+            if identity.hex != target.bound_identity_hex:
+                reason = (
+                    f"rebind refused: instance {new_instance_id} is bound "
+                    f"to identity {target.bound_identity_hex[:12]}…, ring "
+                    f"front-end dom{self.front_domid} measures to "
+                    f"{identity.hex[:12]}…"
+                )
+                manager.monitor.on_rebind_denied(
+                    subject, new_instance_id, reason
+                )
+                raise VtpmError(reason)
         self.instance_id = new_instance_id
         self.xen.store.write(
             0,
@@ -97,6 +198,8 @@ class VtpmBackend:
             str(new_instance_id),
             privileged=True,
         )
+        if self.supervision is not None:
+            self.supervision.on_rebind(self, new_instance_id)
 
     def disconnect(self) -> None:
         self.frontend.ring.disconnect_backend()

@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.crypto.random_source import RandomSource
 from repro.obs import trace as obs_trace
+from repro.sim.timing import get_context
 from repro.tpm import constants as tc
 from repro.tpm.device import TpmDevice
 from repro.util.errors import VtpmError
@@ -45,6 +46,11 @@ class VtpmInstance:
     #: memoized EK-fragment register image, filled lazily by the manager's
     #: working-register model (class default covers restored instances too)
     working_registers = None
+
+    #: virtual timestamp of the last executed command (class default covers
+    #: restored instances); the supervisor's watchdog reads it to tell a
+    #: quiet instance from a wedged one
+    last_activity_us = 0.0
 
     def __init__(
         self,
@@ -108,6 +114,7 @@ class VtpmInstance:
         with obs_trace.span("engine", instance=self.instance_id):
             response = self.device.execute(wire, locality=locality, parsed=parsed)
         self.commands_handled += 1
+        self.last_activity_us = get_context().clock.now_us
         if parsed is not None:
             ordinal = parsed.ordinal
         elif len(wire) >= 10:
@@ -118,6 +125,10 @@ class VtpmInstance:
             with obs_trace.span("serialize", instance=self.instance_id):
                 self.sync_to_memory()
         return response
+
+    def idle_us(self) -> float:
+        """Virtual time since the last executed command (watchdog input)."""
+        return get_context().clock.now_us - self.last_activity_us
 
     def teardown(self) -> None:
         """Scrub and free the state frames."""

@@ -189,6 +189,7 @@ class VtpmManager:
                         with_retry(
                             self._dispatch_one, caller_domid, instance_id,
                             wire, locality, site="vtpm.manager.batch",
+                            jitter_token=instance_id,
                         )
                     )
                 except RetryExhausted as exc:

@@ -44,6 +44,9 @@ MAX_KICKS = 5
 
 Backend = Callable[[bytes], bytes]
 BatchBackend = Callable[[list], list]
+#: admission callback: list of wires → per-frame verdicts (None = admit,
+#: bytes = the pre-built shed response to return instead)
+Admission = Callable[[list], list]
 
 
 def _pack_vector(status: int, frames: list) -> bytes:
@@ -89,6 +92,7 @@ class TpmRing:
         self.port = events.alloc_unbound(front_domid, back_domid)
         self._backend: Optional[Backend] = None
         self._batch_backend: Optional[BatchBackend] = None
+        self._admission: Optional[Admission] = None
         self._mapped_frame: Optional[int] = None
         self.commands_carried = 0
         events.bind(self.port, front_domid, self._on_front_event)
@@ -112,12 +116,24 @@ class TpmRing:
         self._batch_backend = batch_backend
         self._events.bind(self.port, self.back_domid, self._on_back_event)
 
+    def set_admission(self, admission: Optional[Admission]) -> None:
+        """Install (or clear) the back-end's admission-control verdict hook.
+
+        With a hook installed, every frame read off the page is submitted
+        to it *before* the backend callable; frames it sheds are answered
+        with its pre-built response and never reach the backend.  Shed
+        frames still occupy their slot in the response vector, so the
+        front-end always receives exactly one response per command.
+        """
+        self._admission = admission
+
     def disconnect_backend(self) -> None:
         if self._mapped_frame is not None:
             self._grants.unmap_grant(self.back_domid, self.front_domid, self.gref)
             self._mapped_frame = None
         self._backend = None
         self._batch_backend = None
+        self._admission = None
 
     def _on_back_event(self, _port: int) -> None:
         """Back-end interrupt: read command(s), execute, write response(s)."""
@@ -137,7 +153,15 @@ class TpmRing:
         command = self._memory.read(
             self.back_domid, self._mapped_frame, _HEADER.size, length
         )
-        response = self._backend(command)
+        if self._admission is not None:
+            [verdict] = self._admission([command])
+        else:
+            verdict = None
+        if verdict is not None:
+            obs_counters.inc("ring.shed")
+            response = verdict
+        else:
+            response = self._backend(command)
         if len(response) > MAX_PAYLOAD:
             raise RingError(f"response of {len(response)} bytes exceeds page window")
         charge("xen.ring.transfer", len(response))
@@ -166,10 +190,25 @@ class TpmRing:
             commands.append(page[offset : offset + length])
             offset += length
         charge("xen.ring.transfer", offset - _HEADER.size)
+        verdicts = (
+            self._admission(commands)
+            if self._admission is not None
+            else [None] * count
+        )
+        admitted = [c for c, v in zip(commands, verdicts) if v is None]
+        shed = count - len(admitted)
+        if shed:
+            obs_counters.inc("ring.shed", shed)
         if self._batch_backend is not None:
-            responses = self._batch_backend(commands)
+            executed = iter(self._batch_backend(admitted) if admitted else [])
         else:
-            responses = [self._backend(command) for command in commands]
+            executed = iter(self._backend(command) for command in admitted)
+        # Re-merge in submission order: every frame — admitted or shed —
+        # gets exactly one response slot.
+        responses = [
+            next(executed) if verdict is None else verdict
+            for verdict in verdicts
+        ]
         if len(responses) != count:
             raise RingError(
                 f"back-end answered {len(responses)} frames for a batch of {count}"

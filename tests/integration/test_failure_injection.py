@@ -471,11 +471,12 @@ class TestAuditResilience:
         platform = improved_platform
         victim = platform.add_guest("victim")
         attacker = platform.add_guest("attacker")
-        attacker.backend.rebind(victim.instance_id)
+        # The backend refuses the re-bind outright (fail closed), and each
+        # refused attempt lands on the audit chain as a denial.
         for _ in range(5):
-            with pytest.raises(TpmError):
-                attacker.client.pcr_read(0)
-        attacker.backend.rebind(attacker.instance_id)
+            with pytest.raises(VtpmError):
+                attacker.backend.rebind(victim.instance_id)
+        assert attacker.backend.instance_id == attacker.instance_id
         assert len(platform.audit.denials()) == 5
         assert platform.audit.verify_chain()
 
@@ -485,10 +486,11 @@ class TestAuditResilience:
         attacker = platform.add_guest("attacker")
         instance = platform.manager.instance(victim.instance_id)
         handled_before = instance.commands_handled
-        attacker.backend.rebind(victim.instance_id)
-        with pytest.raises(TpmError):
-            attacker.client.extend(10, b"\xee" * 20)
-        attacker.backend.rebind(attacker.instance_id)
+        # Fail closed: the re-bind never takes, so the attacker's commands
+        # keep landing on its own instance and the victim is untouched.
+        with pytest.raises(VtpmError):
+            attacker.backend.rebind(victim.instance_id)
+        attacker.client.extend(10, b"\xee" * 20)
         assert instance.commands_handled == handled_before
         assert victim.client.pcr_read(10) == b"\x00" * 20
 

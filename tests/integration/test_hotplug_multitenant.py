@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.config import AccessMode
 from repro.harness.builder import build_platform
-from repro.util.errors import TpmError
+from repro.util.errors import VtpmError
 
 
 class TestHotplug:
@@ -47,9 +47,20 @@ class TestHotplug:
     def test_monitor_covers_hotplugged_guests(self, improved_platform):
         victim = improved_platform.add_guest_hotplug("victim")
         attacker = improved_platform.add_guest_hotplug("attacker")
-        attacker.backend.rebind(victim.instance_id)
-        with pytest.raises(TpmError):
-            attacker.client.pcr_read(0)
+        # Hotplugged guests get measured identities too, so the fail-closed
+        # backend refuses the re-bind before a single command can flow.
+        with pytest.raises(VtpmError):
+            attacker.backend.rebind(victim.instance_id)
+        # And a forged packet claiming the victim's instance id is still
+        # denied per-command by the monitor (defence in depth).
+        from repro.tpm.constants import TPM_AUTHFAIL, TPM_ORD_PcrRead
+        from repro.tpm.marshal import build_command
+
+        wire = build_command(TPM_ORD_PcrRead, (0).to_bytes(4, "big"))
+        resp = improved_platform.manager.handle_command(
+            attacker.domain.domid, victim.instance_id, wire
+        )
+        assert int.from_bytes(resp[6:10], "big") == TPM_AUTHFAIL
 
 
 class TestMultiTenantCapstone:
@@ -101,13 +112,14 @@ class TestMultiTenantCapstone:
                 loot, instance.device.state.secret_material()
             ), f"tenant {name} leaked via disk theft"
 
-        # ...and rebinds one tenant's channel at another's vTPM.
+        # ...and tries to rebind one tenant's channel at another's vTPM:
+        # the fail-closed backend refuses outright, and the channel stays
+        # bound to its own instance.
         bank = tenants["bank"][0]
         shop = tenants["shop"][0]
-        shop.backend.rebind(bank.instance_id)
-        with pytest.raises(TpmError):
-            shop.client.pcr_read(10)
-        shop.backend.rebind(shop.instance_id)
+        with pytest.raises(VtpmError):
+            shop.backend.rebind(bank.instance_id)
+        assert shop.backend.instance_id == shop.instance_id
 
         # Meanwhile every tenant's legitimate work is unaffected.
         for name, (handle, _owner, srk, sealed) in tenants.items():

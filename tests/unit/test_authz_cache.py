@@ -130,16 +130,24 @@ class TestBatchedSubmission:
         assert batched == sequential
 
     def test_rogue_rebind_blocked_with_hot_cache(self, platform, guest):
-        """Re-pointing the backend at a victim instance fails per-frame."""
+        """A forged victim instance id is denied per-frame, cache or no."""
+        from repro.util.errors import VtpmError
+
         victim = platform.add_guest("victim")
         wire = _pcr_read_wire()
         assert _rc(guest.frontend.transport(wire)) == TPM_SUCCESS  # warm
-        guest.backend.rebind(victim.instance_id)
-        responses = guest.frontend.transport_batch([wire] * 4)
+        # The fail-closed backend refuses the re-bind outright...
+        with pytest.raises(VtpmError):
+            guest.backend.rebind(victim.instance_id)
+        # ...and even a batch forged straight at the manager claiming the
+        # victim's instance id is denied on every frame despite the hot
+        # cache — the decisions are per (subject, instance), not per ring.
+        responses = platform.manager.handle_batch(
+            guest.domain.domid, victim.instance_id, [wire] * 4
+        )
         assert [_rc(r) for r in responses] == [TPM_AUTHFAIL] * 4
-        # Re-binding back restores service — the denials were per-decision,
-        # not a poisoned connection.
-        guest.backend.rebind(guest.instance_id)
+        # The guest's own connection is untouched by the refused re-bind.
+        assert guest.backend.instance_id == guest.instance_id
         assert _rc(guest.frontend.transport(wire)) == TPM_SUCCESS
 
     def test_revocation_lands_between_batches(self, platform, guest):

@@ -91,6 +91,28 @@ class TestCommands:
         assert main(["trace", "frobnicate"]) == 2
         assert "unknown workload" in capsys.readouterr().err
 
+    def test_chaos_supervised_single(self, capsys):
+        assert main(
+            ["chaos", "--supervised", "--single", "--commands", "150"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan=supervised-chaos" in out
+        assert "malformed=0" in out
+        assert "settled=True" in out
+
+    def test_health_subcommand(self, capsys):
+        assert main(["health", "--commands", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "victim" in out
+        assert "restarting->healthy[restart-probe-ok]" in out
+        assert "settled=True" in out
+
+    def test_health_no_faults(self, capsys):
+        assert main(["health", "--commands", "60", "--no-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "plan=fault-free" in out
+        assert "state     : healthy" in out
+
     def test_chaos_single_with_trace_jsonl(self, capsys, tmp_path):
         from repro.obs import load_jsonl, validate_tree_dict
 

@@ -98,13 +98,23 @@ class TestProfiledGuests:
 
     def test_profiles_do_not_widen_cross_instance(self):
         """A profiled guest still cannot touch anyone else's instance."""
+        from repro.tpm.constants import TPM_AUTHFAIL, TPM_ORD_PcrRead
+        from repro.tpm.marshal import build_command, parse_response
+        from repro.util.errors import VtpmError
+
         platform = build_platform(AccessMode.IMPROVED, seed=43)
         victim = platform.add_guest("victim")
         watcher = platform.add_guest("watcher", profile=PROFILE_MONITOR)
-        watcher.backend.rebind(victim.instance_id)
-        with pytest.raises(TpmError):
-            watcher.client.pcr_read(0)
-        watcher.backend.rebind(watcher.instance_id)
+        # The fail-closed backend refuses the cross-instance re-bind...
+        with pytest.raises(VtpmError):
+            watcher.backend.rebind(victim.instance_id)
+        # ...and a forged packet at the victim's instance id is denied by
+        # the monitor even though the watcher profile grants READ.
+        wire = build_command(TPM_ORD_PcrRead, (0).to_bytes(4, "big"))
+        resp = platform.manager.handle_command(
+            watcher.domain.domid, victim.instance_id, wire
+        )
+        assert parse_response(resp).return_code == TPM_AUTHFAIL
 
     def test_denials_show_in_audit(self):
         platform = build_platform(AccessMode.IMPROVED, seed=44)
