@@ -23,6 +23,7 @@ evaluation harness (one file per table/figure; index in DESIGN.md).
 """
 
 from repro import obs
+from repro.cluster.fleet import Fleet, build_fleet
 from repro.core.config import AccessControlConfig, AccessMode
 from repro.harness.builder import (
     GuestHandle,
@@ -48,7 +49,9 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessControlConfig",
     "AccessMode",
+    "Fleet",
     "GuestHandle",
+    "build_fleet",
     "Platform",
     "build_platform",
     "fresh_timing_context",

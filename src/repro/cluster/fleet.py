@@ -1,0 +1,213 @@
+"""The fleet: N hosts, one virtual clock, one placement authority.
+
+``build_fleet`` assembles N full platforms (each its own hypervisor,
+hardware TPM, manager, monitor and supervisor) on the *shared* ambient
+timing context — the discrete-event clock is fleet-global, which is what
+makes cross-host schedules (placement trails, migration storms, breaker
+sequences) deterministic and replay-comparable.
+
+The fleet owns the pieces the tentpole names:
+
+* the consistent-hash ring + :class:`PlacementScheduler` (sharded
+  manager pool: every guest's vTPM lives in exactly one host's manager,
+  chosen deterministically);
+* the :class:`FleetRouter` (workloads address guests by name);
+* the :class:`ClusterMigrator` (attested cross-host movement);
+* host lifecycle — the ``cluster.host`` fault site is polled once per
+  host per workload step, and a fired ``HOST_CRASH`` drives the
+  crash → hard-restart → re-route leg inline, exactly like the
+  supervisor drives instance restarts.
+
+Enrolment: at build time the fleet records every host's measured
+identity (hardware PCR chain) and stamps the fleet policy epoch on it.
+Those enrolment records are what migration handshakes verify against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.host import Host, HostState
+from repro.cluster.hashring import ConsistentHashRing
+from repro.cluster.migrator import ClusterMigrator, MigrationRecord
+from repro.cluster.router import FleetRouter
+from repro.cluster.scheduler import PlacementScheduler
+from repro.core.config import AccessMode
+from repro.crypto.random_source import RandomSource
+from repro.faults import FaultKind, fire
+from repro.harness.builder import build_platform
+from repro.obs import inc, span
+from repro.util.errors import ClusterError
+
+
+class Fleet:
+    """N addressable hosts behind one scheduler, router and migrator."""
+
+    def __init__(
+        self,
+        mode: AccessMode,
+        num_hosts: int,
+        seed: int = 2027,
+        capacity: int = 16,
+        name: str = "fleet",
+        supervise: bool = True,
+    ) -> None:
+        if num_hosts < 1:
+            raise ClusterError("a fleet needs at least one host")
+        self.mode = mode
+        self.seed = seed
+        self.name = name
+        self.rng = RandomSource(f"{name}-{seed}".encode())
+        self.policy_epoch = 1
+        self.hosts: Dict[str, Host] = {}
+        self.ring = ConsistentHashRing()
+        for index in range(num_hosts):
+            host_id = f"h{index}"
+            platform = build_platform(
+                mode, seed=seed + index, name=f"{name}-{host_id}"
+            )
+            if supervise:
+                platform.enable_supervision()
+            host = Host(host_id, platform, capacity=capacity)
+            host.policy_epoch = self.policy_epoch
+            self.hosts[host_id] = host
+            self.ring.add(host_id, weight=capacity)
+        #: enrolment-time measured identities — the attestation baseline
+        self._enrolled: Dict[str, str] = {
+            host_id: host.enrolled_identity
+            for host_id, host in self.hosts.items()
+        }
+        self.router = FleetRouter(self.hosts)
+        self.scheduler = PlacementScheduler(self.ring, self.hosts)
+        self.migrator = ClusterMigrator(self)
+
+    # -- enrolment ----------------------------------------------------------------
+
+    def enrolled_identity(self, host_id: str) -> str:
+        identity = self._enrolled.get(host_id)
+        if identity is None:
+            raise ClusterError(f"host {host_id!r} was never enrolled")
+        return identity
+
+    def bump_policy_epoch(self, host_ids: Optional[List[str]] = None) -> int:
+        """Push a new policy generation to all (or only some) hosts.
+
+        Leaving a host off the push models the stale-policy condition the
+        migration handshake must refuse.
+        """
+        self.policy_epoch += 1
+        for host_id in (host_ids if host_ids is not None else self.hosts):
+            self.hosts[host_id].policy_epoch = self.policy_epoch
+        return self.policy_epoch
+
+    # -- guests -------------------------------------------------------------------
+
+    def add_guest(self, name: str, **kwargs) -> str:
+        """Place and create one guest; returns the chosen host id."""
+        host_id = self.scheduler.place(name)
+        host = self.hosts[host_id]
+        handle = host.platform.add_guest(name, **kwargs)
+        self.router.register(
+            name, host_id, handle.domain.domid, handle.instance_id,
+            handle.domain.uuid,
+        )
+        return host_id
+
+    def instance_for(self, name: str):
+        """The live vTPM instance behind one guest name (any host)."""
+        location = self.router.locate(name)
+        return self.hosts[location.host_id].platform.manager.instance_for_vm(
+            location.vm_uuid
+        )
+
+    # -- movement -----------------------------------------------------------------
+
+    def migrate(self, name: str, target_host_id: str):
+        return self.migrator.migrate(name, target_host_id)
+
+    def rebalance(
+        self, max_moves: Optional[int] = None
+    ) -> List[MigrationRecord]:
+        """Plan and execute a rebalance storm under the current signals."""
+        plan = self.scheduler.rebalance_plan(
+            self.router.placements(), max_moves=max_moves
+        )
+        if not plan:
+            return []
+        return self.migrator.storm(plan)
+
+    # -- host lifecycle -----------------------------------------------------------
+
+    def poll_host_faults(self) -> int:
+        """Give the injector one shot at every UP host; returns crashes.
+
+        Called once per workload step.  A fired ``HOST_CRASH`` drives the
+        whole crash → recover leg inline: the host's volatile manager
+        state dies, and the replacement daemon restores every resident
+        the router knows about from the last committed checkpoint, then
+        the router is re-pointed.  The fault is *handled*, not raised —
+        like the supervisor's restart leg, recovery is the behaviour
+        under test.
+        """
+        crashes = 0
+        for host_id in sorted(self.hosts):
+            host = self.hosts[host_id]
+            if host.state is not HostState.UP:
+                continue
+            event = fire("cluster.host", host=host_id)
+            if event is not None and event.kind is FaultKind.HOST_CRASH:
+                crashes += 1
+                self.crash_host(host_id)
+                self.recover_host(host_id)
+        return crashes
+
+    def crash_host(self, host_id: str, flush: bool = True) -> None:
+        """Kill one host's manager daemon hard.
+
+        ``flush=True`` models the periodic checkpointer having run just
+        before the crash (the chaos demo's convention); ``flush=False``
+        leaves whatever the last workload checkpoint committed.
+        """
+        host = self.hosts[host_id]
+        if flush:
+            host.platform.manager.save_all()
+        host.crash()
+
+    def recover_host(self, host_id: str) -> Dict[str, int]:
+        """Hard-restart a crashed host and re-point the router."""
+        host = self.hosts[host_id]
+        residents = [
+            (name, host.platform.xen.domain(location.domid))
+            for name, location in sorted(self.router.locations().items())
+            if location.host_id == host_id
+        ]
+        with span("cluster.recover", host=host_id, residents=len(residents)):
+            new_ids = host.hard_restart(residents)
+        for name, location in self.router.locations().items():
+            if location.host_id == host_id:
+                self.router.rebind_instance(name, new_ids[location.vm_uuid])
+        return new_ids
+
+    # -- exposition ---------------------------------------------------------------
+
+    def describe(self) -> List[Dict[str, object]]:
+        return [self.hosts[h].describe() for h in sorted(self.hosts)]
+
+
+def build_fleet(
+    mode: AccessMode = AccessMode.IMPROVED,
+    num_hosts: int = 4,
+    seed: int = 2027,
+    capacity: int = 16,
+    name: str = "fleet",
+    supervise: bool = True,
+) -> Fleet:
+    """The one-liner the demo, benchmarks and tests build fleets through."""
+    return Fleet(
+        mode=mode,
+        num_hosts=num_hosts,
+        seed=seed,
+        capacity=capacity,
+        name=name,
+        supervise=supervise,
+    )

@@ -1,0 +1,97 @@
+"""Consistent-hash ring for sharding vTPM instances across hosts.
+
+Placement must be stable (adding a host moves only the guests that now
+hash to it), deterministic (same members + same key → same candidate walk
+on every run and every host), and weighted (a host with twice the
+capacity owns roughly twice the keyspace).  The classic construction
+does all three: each host contributes ``weight × VNODES_PER_WEIGHT``
+virtual nodes at SHA-256-derived points on a 64-bit ring, and a key's
+candidate list is the distinct hosts met walking clockwise from the
+key's own point.
+
+The ring knows nothing about health or load — it proposes an *order* of
+candidates, and the :class:`~repro.cluster.scheduler.PlacementScheduler`
+scores and filters them.  Keeping the two concerns separate is what makes
+rebalancing after membership or health changes a pure function of
+observable state.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+from repro.util.errors import ClusterError
+
+#: virtual nodes per unit of weight; enough to keep the keyspace spread
+#: within a few percent of fair at single-digit host counts
+VNODES_PER_WEIGHT = 16
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for one label."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Weighted consistent hashing over opaque node ids."""
+
+    def __init__(self) -> None:
+        self._weights: Dict[str, int] = {}
+        self._points: List[Tuple[int, str]] = []  # sorted (position, node)
+
+    # -- membership --------------------------------------------------------------
+
+    def add(self, node_id: str, weight: int = 1) -> None:
+        if node_id in self._weights:
+            raise ClusterError(f"node {node_id!r} already on the ring")
+        if weight < 1:
+            raise ClusterError(f"node {node_id!r} needs positive weight")
+        self._weights[node_id] = weight
+        for replica in range(weight * VNODES_PER_WEIGHT):
+            bisect.insort(
+                self._points, (_point(f"{node_id}#{replica}"), node_id)
+            )
+
+    def remove(self, node_id: str) -> None:
+        if node_id not in self._weights:
+            raise ClusterError(f"node {node_id!r} is not on the ring")
+        del self._weights[node_id]
+        self._points = [p for p in self._points if p[1] != node_id]
+
+    def nodes(self) -> List[str]:
+        return sorted(self._weights)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._weights
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def candidates(self, key: str, count: int = 0) -> List[str]:
+        """Distinct nodes in ring order from ``key``'s point.
+
+        ``count=0`` returns every member once — the full preference order
+        the scheduler filters.  The walk is a pure function of membership
+        and the key, which is what the replay-identity oracle leans on.
+        """
+        if not self._points:
+            raise ClusterError("consistent-hash ring has no members")
+        wanted = count or len(self._weights)
+        start = bisect.bisect_right(self._points, (_point(key), "￿"))
+        found: List[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in found:
+                found.append(node)
+                if len(found) >= wanted:
+                    break
+        return found
+
+    def primary(self, key: str) -> str:
+        return self.candidates(key, count=1)[0]

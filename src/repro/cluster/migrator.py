@@ -1,0 +1,229 @@
+"""The attested cross-host migration orchestrator.
+
+One migration is a five-leg protocol, every cross-host leg passing the
+``cluster.link`` fault site:
+
+1. **handshake** — the source mints a nonce and asks the target for an
+   attestation report bound to it;
+2. **verify** — the source checks the report against the target's
+   enrolment-time measured identity and the fleet policy epoch.  Any
+   mismatch raises :class:`~repro.util.errors.ClusterError` *before* an
+   offer is consumed or a byte of state leaves the source — fail closed,
+   the guest keeps serving where it is;
+3. **offer + export** — the verified target mints a single-use
+   hardware-TPM-bound :class:`~repro.vtpm.migration.MigrationOffer`; the
+   source opens a sealed export transaction against it;
+4. **transfer + import** — the package crosses the link (where a
+   ``PARTITION`` may drop it); the target unbinds the session key in its
+   hardware TPM, checks identity continuity, and instantiates;
+5. **commit** — only now does the source destroy its copy, tear down the
+   old domain, and re-point the router.
+
+Transient faults in any leg roll the whole attempt back (abort the
+transaction, cancel the offer, destroy the half-made target domain) and
+renegotiate from scratch with a fresh nonce and offer — the single-use
+offer semantics make replaying an interrupted attempt impossible.
+
+``storm`` executes a batch of moves back-to-back, which is the chaos
+demo's rebalance-under-fire mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.attestation import verify_report
+from repro.faults import FaultKind, fire, note_recovery, note_retry
+from repro.obs import inc, span
+from repro.sim.timing import charge, get_context
+from repro.util.errors import ClusterError, FaultInjected, RetryExhausted
+from repro.vtpm.migration import MIGRATION_ATTEMPTS
+
+HANDSHAKE_NONCE_SIZE = 20
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed (or failed) migration, for the replay oracle."""
+
+    guest: str
+    source: str
+    target: str
+    outcome: str  # "moved" | "failed"
+    attempts: int
+
+
+class ClusterMigrator:
+    """Drives guests between hosts through the attested sealed path."""
+
+    def __init__(self, fleet) -> None:
+        self.fleet = fleet
+        self._rng = fleet.rng.fork("cluster-migrator")
+        #: append-only, time-free migration trail
+        self.trail: List[MigrationRecord] = []
+
+    # -- the cross-host wire -----------------------------------------------------
+
+    def _link(self, target_host: str, guest: str, phase: str) -> None:
+        """One message crossing the inter-host link (partitionable)."""
+        event = fire(
+            "cluster.link", host=target_host, guest=guest, phase=phase
+        )
+        if event is not None and event.kind is FaultKind.PARTITION:
+            event.raise_fault()
+
+    # -- one migration ------------------------------------------------------------
+
+    def migrate(
+        self, name: str, target_host_id: str,
+        attempts: int = MIGRATION_ATTEMPTS,
+    ):
+        """Move guest ``name`` to ``target_host_id``; returns the new instance."""
+        fleet = self.fleet
+        location = fleet.router.locate(name)
+        if location.host_id == target_host_id:
+            raise ClusterError(f"guest {name!r} already lives on "
+                               f"{target_host_id}")
+        source = fleet.hosts[location.host_id]
+        target = fleet.hosts[target_host_id]
+        if not target.admissible():
+            raise ClusterError(
+                f"host {target_host_id} is not admissible "
+                f"({target.state.value}, {target.spare_capacity} slots free)"
+            )
+        source_domain = source.platform.xen.domain(location.domid)
+        with span(
+            "cluster.migrate", guest=name, source=source.host_id,
+            target=target.host_id,
+        ):
+            start_us = get_context().clock.now_us
+            interrupted = 0
+            last: Optional[Exception] = None
+            for attempt in range(1, attempts + 1):
+                try:
+                    instance, target_vm = self._attempt(
+                        name, source, target, source_domain
+                    )
+                except FaultInjected as exc:
+                    if not exc.transient:
+                        raise
+                    last = exc
+                    interrupted += 1
+                    note_retry("cluster.migrate")
+                    charge("vtpm.migration.retry")
+                    continue
+                # Success: the source copy is gone (commit_export), so
+                # finish the domain teardown and re-point the router.
+                source.platform.guests.pop(name, None)
+                if source.platform.identities is not None:
+                    source.platform.identities.forget(source_domain.domid)
+                source.platform.xen.destroy_domain(source_domain.domid)
+                fleet.router.relocate(
+                    name, target.host_id, target_vm.domid,
+                    instance.instance_id, target_vm.uuid,
+                )
+                if interrupted:
+                    note_recovery(
+                        "cluster.migrate",
+                        get_context().clock.now_us - start_us,
+                    )
+                inc("cluster.migrations", outcome="moved",
+                    target=target.host_id)
+                self.trail.append(MigrationRecord(
+                    guest=name, source=source.host_id,
+                    target=target.host_id, outcome="moved", attempts=attempt,
+                ))
+                return instance
+            inc("cluster.migrations", outcome="failed")
+            self.trail.append(MigrationRecord(
+                guest=name, source=source.host_id, target=target.host_id,
+                outcome="failed", attempts=attempts,
+            ))
+            raise RetryExhausted(
+                "cluster.migrate", attempts,
+                last or ClusterError(f"migration of {name!r} kept failing"),
+            )
+
+    def _attempt(self, name: str, source, target, source_domain):
+        """One full attested attempt; raises FaultInjected on a cut link."""
+        fleet = self.fleet
+        # Leg 1+2: attestation handshake, then fail-closed verification.
+        # ClusterError from verify_report propagates — a target that fails
+        # attestation is not a transient condition retries can fix.
+        nonce = self._rng.bytes(HANDSHAKE_NONCE_SIZE)
+        self._link(target.host_id, name, phase="challenge")
+        report = target.attestation_report(nonce)
+        self._link(source.host_id, name, phase="report")
+        verify_report(
+            report,
+            expected_identity=fleet.enrolled_identity(target.host_id),
+            expected_epoch=fleet.policy_epoch,
+            nonce=nonce,
+        )
+        # Leg 3: single-use offer + sealed export transaction.
+        offer = target.platform.migration.prepare_target()
+        txn = source.platform.migration.begin_export_sealed(
+            source_domain.uuid, offer
+        )
+        target_vm = None
+        try:
+            # Leg 4: the package crosses the link; the target instantiates.
+            self._link(target.host_id, name, phase="transfer")
+            target_vm = target.platform.xen.create_domain(
+                source_domain.name,
+                kernel_image=source_domain.kernel_image,
+                config=dict(source_domain.config),
+            )
+            instance = target.platform.migration.import_sealed(
+                txn.package, target_vm
+            )
+        except FaultInjected:
+            # Roll the attempt back: the source instance keeps serving,
+            # the offer dies unconsumed, the half-made domain is scrubbed.
+            source.platform.migration.abort_export(txn)
+            target.platform.migration.cancel_offer(offer.offer_id)
+            if target_vm is not None:
+                target.platform.xen.destroy_domain(target_vm.domid)
+            raise
+        # Leg 5: destination holds good state — destroy the source copy.
+        source.platform.migration.commit_export(txn)
+        return instance, target_vm
+
+    # -- storm mode ----------------------------------------------------------------
+
+    def storm(
+        self, moves: List[Tuple[str, str, str]]
+    ) -> List[MigrationRecord]:
+        """Execute a batch of rebalance moves back-to-back.
+
+        Each move runs the full attested protocol.  A move whose target
+        stopped being admissible mid-storm is recorded as failed and the
+        storm continues — a rebalance must never take the fleet down.
+        """
+        executed: List[MigrationRecord] = []
+        with span("cluster.storm", moves=len(moves)):
+            for guest, _source, target_id in moves:
+                try:
+                    self.migrate(guest, target_id)
+                except RetryExhausted:
+                    pass  # migrate() already recorded the failure
+                except ClusterError:
+                    inc("cluster.migrations", outcome="refused")
+                    self.trail.append(MigrationRecord(
+                        guest=guest,
+                        source=_source,
+                        target=target_id,
+                        outcome="failed",
+                        attempts=0,
+                    ))
+                executed.append(self.trail[-1])
+        return executed
+
+    # -- oracle view ----------------------------------------------------------------
+
+    def trail_signature(self) -> Tuple[Tuple[str, str, str, str, int], ...]:
+        return tuple(
+            (r.guest, r.source, r.target, r.outcome, r.attempts)
+            for r in self.trail
+        )

@@ -49,6 +49,12 @@ class FaultKind(Enum):
     #: a restarted instance fails its supervised health probe, so the
     #: breaker re-opens and the instance flaps back into quarantine
     FLAP = "flap"
+    #: the inter-host cluster link drops one transfer (attestation
+    #: handshake or migration package); the orchestrator renegotiates
+    PARTITION = "partition"
+    #: a whole host's manager daemon dies hard; the fleet recovers it
+    #: from the last committed checkpoint and re-binds its residents
+    HOST_CRASH = "host-crash"
 
 
 #: which hook site each kind is allowed to attack (sanity-checks plans)
@@ -63,6 +69,8 @@ KIND_SITES: Dict[FaultKind, str] = {
     FaultKind.MIGRATION_DEST_CRASH: "vtpm.migration.dest",
     FaultKind.WEDGE: "tpm.device.execute",
     FaultKind.FLAP: "vtpm.supervisor.probe",
+    FaultKind.PARTITION: "cluster.link",
+    FaultKind.HOST_CRASH: "cluster.host",
 }
 
 

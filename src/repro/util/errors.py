@@ -24,6 +24,7 @@ __all__ = [
     "VtpmError",
     "MigrationError",
     "SupervisionError",
+    "ClusterError",
     "AccessControlError",
     "AccessDenied",
     "IdentityError",
@@ -106,6 +107,16 @@ class SupervisionError(VtpmError):
     (e.g. restarting an instance that is not quarantined).  The transition
     table itself is the security invariant — a supervisor bug must surface
     loudly, never silently route traffic to a half-recovered instance.
+    """
+
+
+class ClusterError(VtpmError):
+    """Multi-host fleet failure (unreachable host, failed attestation
+    handshake, no admissible placement target).
+
+    Attested migration fails *closed* through this type: a target host
+    whose measured identity or policy epoch cannot be verified never
+    receives a sealed export, and the guest keeps serving on the source.
     """
 
 

@@ -25,6 +25,7 @@ from repro.crypto.random_source import RandomSource
 from repro.crypto.rsa import RsaPublicKey
 from repro.crypto.symmetric import EncryptedBlob, SymmetricKey
 from repro.faults import FaultKind, fire, note_recovery, note_retry
+from repro.obs import inc, span
 from repro.sim.timing import charge, get_context
 from repro.tpm.client import TpmClient
 from repro.tpm.constants import TPM_KEY_BIND, TPM_KH_SRK
@@ -39,16 +40,31 @@ SESSION_KEY_SIZE = 32
 MAGIC_PLAIN = b"VTPMMIG0"
 MAGIC_SEALED = b"VTPMMIG1"
 
+#: how long (virtual us) a minted offer stays redeemable
+DEFAULT_OFFER_TTL_US = 5_000_000.0
+
 
 @dataclass
 class MigrationOffer:
-    """Destination's single-use landing pad."""
+    """Destination's single-use landing pad.
+
+    An offer is good for exactly one import and only until ``expires_us``
+    on the shared virtual clock — a captured package replayed after the
+    original import (or a stale offer dug up later) must fail closed, so
+    both violations raise and leave an audit record on the destination.
+    """
 
     offer_id: int
     bind_public: RsaPublicKey
     nonce: bytes
     bind_key_handle: int
     bind_key_auth: bytes
+    created_us: float = 0.0
+    expires_us: float = float("inf")
+    consumed: bool = False
+
+    def expired(self, now_us: float) -> bool:
+        return now_us > self.expires_us
 
 
 @dataclass
@@ -99,7 +115,9 @@ class MigrationEndpoint:
 
     # -- destination side -----------------------------------------------------------
 
-    def prepare_target(self, key_bits: int = 512) -> MigrationOffer:
+    def prepare_target(
+        self, key_bits: int = 512, ttl_us: float = DEFAULT_OFFER_TTL_US
+    ) -> MigrationOffer:
         """Mint a hardware-TPM bind key + nonce for one incoming migration."""
         if self._hw is None or self._srk_auth is None:
             raise MigrationError("improved migration needs a hardware TPM client")
@@ -109,21 +127,52 @@ class MigrationEndpoint:
         )
         handle = self._hw.load_key2(TPM_KH_SRK, self._srk_auth, blob)
         public = self._hw.get_pub_key(handle, bind_auth)
+        now_us = get_context().clock.now_us
         offer = MigrationOffer(
             offer_id=self._next_offer,
             bind_public=public,
             nonce=self._rng.bytes(NONCE_SIZE),
             bind_key_handle=handle,
             bind_key_auth=bind_auth,
+            created_us=now_us,
+            expires_us=now_us + ttl_us,
         )
         self._next_offer += 1
         self._offers[offer.offer_id] = offer
         return offer
 
+    def _reject_offer(self, offer_id: int, why: str) -> None:
+        """Fail closed on an invalid offer: audit, count, raise."""
+        audit = getattr(self.manager.monitor, "audit", None)
+        if audit is not None:
+            audit.append(
+                subject="migration",
+                instance=offer_id,
+                operation="VTPM_MigrateOffer",
+                allowed=False,
+                reason=why,
+            )
+        inc("vtpm.migration.offer_rejected", why=why.split(" ")[-1])
+        raise MigrationError(f"migration offer {offer_id} {why}")
+
+    def _redeem_offer(self, offer_id: int) -> MigrationOffer:
+        """Look up an offer and enforce single-use + virtual-time expiry."""
+        offer = self._offers.get(offer_id)
+        if offer is None:
+            raise MigrationError(f"no outstanding migration offer {offer_id}")
+        if offer.consumed:
+            self._reject_offer(offer_id, "already consumed: replay")
+        if offer.expired(get_context().clock.now_us):
+            del self._offers[offer_id]
+            if self._hw is not None:
+                self._hw.evict_key(offer.bind_key_handle)
+            self._reject_offer(offer_id, "expired")
+        return offer
+
     def cancel_offer(self, offer_id: int) -> None:
         """Withdraw an unconsumed offer and release its bind key."""
         offer = self._offers.pop(offer_id, None)
-        if offer is not None and self._hw is not None:
+        if offer is not None and not offer.consumed and self._hw is not None:
             self._hw.evict_key(offer.bind_key_handle)
 
     def crash(self) -> None:
@@ -140,37 +189,53 @@ class MigrationEndpoint:
     def begin_export_plaintext(self, vm_uuid: str) -> ExportTransaction:
         """Stock protocol: raw state on the wire; instance retained until
         :meth:`commit_export`."""
-        instance = self.manager.instance_for_vm(vm_uuid)
-        state = instance.device.save_state_blob()
-        w = ByteWriter()
-        w.raw(MAGIC_PLAIN)
-        w.sized(vm_uuid.encode("utf-8"))
-        w.sized(state)
-        payload = w.getvalue()
-        charge("vtpm.migration.net", len(payload))
-        return self._open_txn(vm_uuid, instance.instance_id, payload)
+        with span("vtpm.migrate", op="export", protocol="plaintext", vm=vm_uuid) as sp:
+            instance = self.manager.instance_for_vm(vm_uuid)
+            state = instance.device.save_state_blob()
+            w = ByteWriter()
+            w.raw(MAGIC_PLAIN)
+            w.sized(vm_uuid.encode("utf-8"))
+            w.sized(state)
+            payload = w.getvalue()
+            sp.set("bytes", len(payload))
+            inc("vtpm.migration.export_begun", protocol="plaintext")
+            inc("vtpm.migration.bytes_moved", len(payload))
+            charge("vtpm.migration.net", len(payload))
+            return self._open_txn(vm_uuid, instance.instance_id, payload)
 
     def begin_export_sealed(
         self, vm_uuid: str, offer: MigrationOffer
     ) -> ExportTransaction:
         """Improved protocol: session key bound to the destination TPM;
         instance retained until :meth:`commit_export`."""
-        instance = self.manager.instance_for_vm(vm_uuid)
-        state = instance.device.save_state_blob()
-        session_key = self._rng.bytes(SESSION_KEY_SIZE)
-        enc_session = offer.bind_public.encrypt(session_key, self._rng)
-        enc_state = SymmetricKey(session_key).encrypt(state, self._rng)
-        w = ByteWriter()
-        w.raw(MAGIC_SEALED)
-        w.u32(offer.offer_id)
-        w.raw(offer.nonce)
-        w.sized(vm_uuid.encode("utf-8"))
-        w.sized((instance.bound_identity_hex or "").encode("ascii"))
-        w.sized(enc_session)
-        w.sized(enc_state.serialize())
-        payload = w.getvalue()
-        charge("vtpm.migration.net", len(payload))
-        return self._open_txn(vm_uuid, instance.instance_id, payload)
+        # The clock is shared fleet-wide, so the source can refuse to do
+        # the crypto work for an offer the destination will reject anyway.
+        if offer.consumed:
+            raise MigrationError(
+                f"migration offer {offer.offer_id} already consumed: replay"
+            )
+        if offer.expired(get_context().clock.now_us):
+            raise MigrationError(f"migration offer {offer.offer_id} expired")
+        with span("vtpm.migrate", op="export", protocol="sealed", vm=vm_uuid) as sp:
+            instance = self.manager.instance_for_vm(vm_uuid)
+            state = instance.device.save_state_blob()
+            session_key = self._rng.bytes(SESSION_KEY_SIZE)
+            enc_session = offer.bind_public.encrypt(session_key, self._rng)
+            enc_state = SymmetricKey(session_key).encrypt(state, self._rng)
+            w = ByteWriter()
+            w.raw(MAGIC_SEALED)
+            w.u32(offer.offer_id)
+            w.raw(offer.nonce)
+            w.sized(vm_uuid.encode("utf-8"))
+            w.sized((instance.bound_identity_hex or "").encode("ascii"))
+            w.sized(enc_session)
+            w.sized(enc_state.serialize())
+            payload = w.getvalue()
+            sp.set("bytes", len(payload))
+            inc("vtpm.migration.export_begun", protocol="sealed")
+            inc("vtpm.migration.bytes_moved", len(payload))
+            charge("vtpm.migration.net", len(payload))
+            return self._open_txn(vm_uuid, instance.instance_id, payload)
 
     def _open_txn(
         self, vm_uuid: str, instance_id: int, payload: bytes
@@ -189,11 +254,13 @@ class MigrationEndpoint:
         """Destination acked: the source copy may now be destroyed."""
         if self._pending.pop(txn.txn_id, None) is None:
             raise MigrationError(f"no pending export transaction {txn.txn_id}")
+        inc("vtpm.migration.export_committed")
         self.manager.destroy_instance(txn.instance_id, persist=False)
 
     def abort_export(self, txn: ExportTransaction) -> None:
         """Roll back an interrupted migration; the instance keeps serving."""
-        self._pending.pop(txn.txn_id, None)
+        if self._pending.pop(txn.txn_id, None) is not None:
+            inc("vtpm.migration.export_aborted")
 
     @property
     def pending_exports(self) -> int:
@@ -226,57 +293,68 @@ class MigrationEndpoint:
 
     def import_plaintext(self, package: MigrationPackage, target_vm: Domain):
         """Accept a stock-protocol package."""
-        self._maybe_crash_on_import(target_vm)
-        r = ByteReader(package.payload)
-        if r.raw(8) != MAGIC_PLAIN:
-            raise MigrationError("not a plaintext migration package")
-        r.sized(max_size=64)  # vm uuid (informational)
-        state = r.sized(max_size=1 << 22)
-        r.expect_end()
-        return self._instantiate(state, target_vm)
+        with span(
+            "vtpm.migrate", op="import", protocol="plaintext",
+            vm=target_vm.uuid, bytes=len(package),
+        ):
+            self._maybe_crash_on_import(target_vm)
+            r = ByteReader(package.payload)
+            if r.raw(8) != MAGIC_PLAIN:
+                raise MigrationError("not a plaintext migration package")
+            r.sized(max_size=64)  # vm uuid (informational)
+            state = r.sized(max_size=1 << 22)
+            r.expect_end()
+            inc("vtpm.migration.imported", protocol="plaintext")
+            return self._instantiate(state, target_vm)
 
     def import_sealed(self, package: MigrationPackage, target_vm: Domain):
         """Accept an improved-protocol package (nonce single-use, TPM-gated)."""
         if self._hw is None:
             raise MigrationError("improved migration needs a hardware TPM client")
-        self._maybe_crash_on_import(target_vm)
-        r = ByteReader(package.payload)
-        if r.raw(8) != MAGIC_SEALED:
-            raise MigrationError("not a sealed migration package")
-        offer_id = r.u32()
-        nonce = r.raw(NONCE_SIZE)
-        r.sized(max_size=64)  # vm uuid
-        identity_hex = r.sized(max_size=128).decode("ascii")
-        enc_session = r.sized(max_size=1 << 12)
-        enc_state = EncryptedBlob.deserialize(r.sized(max_size=1 << 22))
-        r.expect_end()
-        offer = self._offers.pop(offer_id, None)
-        if offer is None:
-            raise MigrationError(f"no outstanding migration offer {offer_id}")
-        if nonce != offer.nonce or nonce in self._seen_nonces:
-            raise MigrationError("migration nonce mismatch or replay")
-        self._seen_nonces.add(nonce)
-        session_key = self._hw.unbind(
-            offer.bind_key_handle, offer.bind_key_auth, enc_session
-        )
-        if len(session_key) != SESSION_KEY_SIZE:
-            raise MigrationError("recovered session key has wrong size")
-        try:
-            state = SymmetricKey(session_key).decrypt(enc_state)
-        except Exception as exc:
-            raise MigrationError(f"state decrypt failed: {exc}") from exc
-        # Identity continuity: the VM landing here must measure identically.
-        if self.manager.identities is not None and identity_hex:
-            identity = self.manager.identities.lookup(target_vm.domid)
-            if identity is None:
-                identity = self.manager.identities.register(target_vm)
-            if identity.hex != identity_hex:
-                raise MigrationError(
-                    "target VM identity does not match the migrated instance"
-                )
-        finally_handle = offer.bind_key_handle
-        self._hw.evict_key(finally_handle)
-        return self._instantiate(state, target_vm)
+        with span(
+            "vtpm.migrate", op="import", protocol="sealed",
+            vm=target_vm.uuid, bytes=len(package),
+        ):
+            self._maybe_crash_on_import(target_vm)
+            r = ByteReader(package.payload)
+            if r.raw(8) != MAGIC_SEALED:
+                raise MigrationError("not a sealed migration package")
+            offer_id = r.u32()
+            nonce = r.raw(NONCE_SIZE)
+            r.sized(max_size=64)  # vm uuid
+            identity_hex = r.sized(max_size=128).decode("ascii")
+            enc_session = r.sized(max_size=1 << 12)
+            enc_state = EncryptedBlob.deserialize(r.sized(max_size=1 << 22))
+            r.expect_end()
+            offer = self._redeem_offer(offer_id)
+            if nonce != offer.nonce or nonce in self._seen_nonces:
+                raise MigrationError("migration nonce mismatch or replay")
+            # The offer is spent the moment its nonce is accepted — kept on
+            # the books (consumed=True) so a later replay is *recognised*
+            # as a replay and audited, not mistaken for an unknown offer.
+            offer.consumed = True
+            self._seen_nonces.add(nonce)
+            session_key = self._hw.unbind(
+                offer.bind_key_handle, offer.bind_key_auth, enc_session
+            )
+            if len(session_key) != SESSION_KEY_SIZE:
+                raise MigrationError("recovered session key has wrong size")
+            try:
+                state = SymmetricKey(session_key).decrypt(enc_state)
+            except Exception as exc:
+                raise MigrationError(f"state decrypt failed: {exc}") from exc
+            # Identity continuity: the VM landing here must measure identically.
+            if self.manager.identities is not None and identity_hex:
+                identity = self.manager.identities.lookup(target_vm.domid)
+                if identity is None:
+                    identity = self.manager.identities.register(target_vm)
+                if identity.hex != identity_hex:
+                    raise MigrationError(
+                        "target VM identity does not match the migrated instance"
+                    )
+            self._hw.evict_key(offer.bind_key_handle)
+            inc("vtpm.migration.imported", protocol="sealed")
+            return self._instantiate(state, target_vm)
 
     def _instantiate(self, state: bytes, target_vm: Domain):
         """Common tail: rebuild the instance on this platform."""

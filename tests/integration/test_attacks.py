@@ -111,3 +111,58 @@ class TestAttackMechanics:
             hypercalls.dump_domain_memory(victim.domain.domid)
         with pytest.raises(XenError):
             hypercalls.foreign_map_page(victim.domain.memory.frames[0])
+
+    def test_replayed_migration_offer_blocked_and_audited(self):
+        """An interceptor who captured a sealed migration package cannot
+        land a second copy of the instance by replaying it: the offer is
+        single-use, the replay raises, and the denial is audited."""
+        from repro.util.errors import MigrationError
+
+        source = build_platform(AccessMode.IMPROVED, seed=65, name="atk-src")
+        destination = build_platform(AccessMode.IMPROVED, seed=66, name="atk-dst")
+        guest = source.add_guest("victim")
+        target_vm = destination.xen.create_domain(
+            guest.domain.name,
+            kernel_image=guest.domain.kernel_image,
+            config=dict(guest.domain.config),
+        )
+        offer = destination.migration.prepare_target()
+        captured = source.migration.export_sealed(guest.domain.uuid, offer)
+        destination.migration.import_sealed(captured, target_vm)
+        instances_before = len(destination.manager.instances())
+        clone_vm = destination.xen.create_domain(
+            "victim-clone",
+            kernel_image=guest.domain.kernel_image,
+            config=dict(guest.domain.config),
+        )
+        with pytest.raises(MigrationError, match="replay"):
+            destination.migration.import_sealed(captured, clone_vm)
+        assert len(destination.manager.instances()) == instances_before
+        denials = [
+            r for r in destination.audit.for_subject("migration")
+            if not r.allowed and "replay" in r.reason
+        ]
+        assert denials, "the replay attempt must be visible in the audit log"
+
+    def test_stale_migration_offer_blocked_and_audited(self):
+        """A stale offer dug out of a captured handshake expires on the
+        virtual clock and cannot be redeemed later."""
+        from repro.sim.timing import get_context
+        from repro.util.errors import MigrationError
+
+        source = build_platform(AccessMode.IMPROVED, seed=67, name="stale-src")
+        destination = build_platform(AccessMode.IMPROVED, seed=68, name="stale-dst")
+        guest = source.add_guest("victim")
+        target_vm = destination.xen.create_domain(
+            guest.domain.name,
+            kernel_image=guest.domain.kernel_image,
+            config=dict(guest.domain.config),
+        )
+        offer = destination.migration.prepare_target(ttl_us=1_000.0)
+        txn = source.migration.begin_export_sealed(guest.domain.uuid, offer)
+        get_context().clock.advance(60_000.0)
+        with pytest.raises(MigrationError, match="expired"):
+            destination.migration.import_sealed(txn.package, target_vm)
+        source.migration.abort_export(txn)
+        # Fail-closed rollback: the only copy still serves on the source.
+        assert source.manager.instance_for_vm(guest.domain.uuid)

@@ -35,9 +35,15 @@ class TestChaosDemo:
         assert chaotic.audit_fault_records >= chaotic.total_faults
         assert chaotic.mean_recovery_us > 0.0
 
-    def test_default_plan_covers_every_kind(self):
+    def test_default_plans_cover_every_kind(self):
+        """Single-host chaos owns the device/storage/migration kinds; the
+        cluster plan owns the fleet-scoped ones.  Together: everything."""
+        from repro.cluster import default_cluster_plan
+
         plan = default_chaos_plan(1)
-        assert set(plan.kinds()) == set(FaultKind)
+        cluster_plan = default_cluster_plan(1, num_hosts=4, crash_step=8)
+        assert set(plan.kinds()) | set(cluster_plan.kinds()) == set(FaultKind)
+        assert set(plan.kinds()) & set(cluster_plan.kinds()) == set()
 
     def test_workload_without_plan_is_fault_free(self):
         report = run_chaos_workload(seed=5, commands=120, plan=None)

@@ -159,6 +159,100 @@ class TestSealedMigration:
         with pytest.raises(MigrationError):
             host_c.migration.import_sealed(package, vm_on_c)
 
+    def test_replayed_offer_recognised_and_audited(self, pair_improved):
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        target_vm = _target_vm(destination, guest)
+        offer = destination.migration.prepare_target()
+        package = source.migration.export_sealed(guest.domain.uuid, offer)
+        destination.migration.import_sealed(package, target_vm)
+        replay_vm = destination.xen.create_domain(
+            "replayed", kernel_image=guest.domain.kernel_image,
+            config=dict(guest.domain.config),
+        )
+        with pytest.raises(MigrationError, match="replay"):
+            destination.migration.import_sealed(package, replay_vm)
+        denials = [
+            r for r in destination.audit.for_subject("migration")
+            if not r.allowed and "replay" in r.reason
+        ]
+        assert denials, "replayed offer must leave an audit record"
+
+    def test_offer_expires_in_virtual_time(self, pair_improved):
+        from repro.sim.timing import get_context
+
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        target_vm = _target_vm(destination, guest)
+        offer = destination.migration.prepare_target(ttl_us=500.0)
+        txn = source.migration.begin_export_sealed(guest.domain.uuid, offer)
+        get_context().clock.advance(10_000.0)
+        with pytest.raises(MigrationError, match="expired"):
+            destination.migration.import_sealed(txn.package, target_vm)
+        denials = [
+            r for r in destination.audit.for_subject("migration")
+            if not r.allowed and "expired" in r.reason
+        ]
+        assert denials, "expired offer must leave an audit record"
+        # The source never got an ack, so the guest's vTPM keeps serving.
+        source.migration.abort_export(txn)
+        assert source.manager.instance_for_vm(guest.domain.uuid)
+
+    def test_expired_offer_refused_at_source(self, pair_improved):
+        from repro.sim.timing import get_context
+
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        offer = destination.migration.prepare_target(ttl_us=500.0)
+        get_context().clock.advance(10_000.0)
+        with pytest.raises(MigrationError, match="expired"):
+            source.migration.begin_export_sealed(guest.domain.uuid, offer)
+
+    def test_consumed_offer_refused_at_source(self, pair_improved):
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        target_vm = _target_vm(destination, guest)
+        offer = destination.migration.prepare_target()
+        package = source.migration.export_sealed(guest.domain.uuid, offer)
+        destination.migration.import_sealed(package, target_vm)
+        other = source.add_guest("mover2")
+        with pytest.raises(MigrationError, match="consumed"):
+            source.migration.begin_export_sealed(other.domain.uuid, offer)
+
+    def test_migration_counters_and_span(self, pair_improved):
+        from repro import obs
+
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        target_vm = _target_vm(destination, guest)
+        sink = obs.InMemorySink()
+        with obs.tracer_scope(obs.Tracer(sink)), \
+                obs.registry_scope(obs.CounterRegistry()) as counters:
+            offer = destination.migration.prepare_target()
+            package = source.migration.export_sealed(guest.domain.uuid, offer)
+            destination.migration.import_sealed(package, target_vm)
+        assert counters.value("vtpm.migration.export_begun", protocol="sealed") == 1
+        assert counters.value("vtpm.migration.export_committed") == 1
+        assert counters.value("vtpm.migration.bytes_moved") == len(package)
+        assert counters.value("vtpm.migration.imported", protocol="sealed") == 1
+        spans = sink.spans_named("vtpm.migrate")
+        assert {s.attrs["op"] for s in spans} == {"export", "import"}
+        export_span = next(s for s in spans if s.attrs["op"] == "export")
+        assert export_span.attrs["bytes"] == len(package)
+
+    def test_aborted_export_counted(self, pair_improved):
+        from repro import obs
+
+        source, destination = pair_improved
+        guest = source.add_guest("mover")
+        with obs.registry_scope(obs.CounterRegistry()) as counters:
+            offer = destination.migration.prepare_target()
+            txn = source.migration.begin_export_sealed(guest.domain.uuid, offer)
+            source.migration.abort_export(txn)
+            source.migration.abort_export(txn)  # idempotent: counted once
+        assert counters.value("vtpm.migration.export_aborted") == 1
+        assert counters.value("vtpm.migration.export_committed") == 0
+
     def test_requires_hw_client(self, pair_improved):
         source, _ = pair_improved
         from repro.vtpm.migration import MigrationEndpoint
