@@ -46,12 +46,17 @@ def _p99(samples) -> float:
 
 
 def _measure_shape(hosts: int, guests: int, steps: int) -> dict:
-    """One fleet shape: route ``guests * steps`` commands, then storm."""
+    """One fleet shape: route ``guests * steps`` commands (untraced, then
+    traced at the default sampling rate), then storm."""
     from repro.cluster import build_fleet
     from repro.cluster.demo import _extend_wire, _storm_moves
     from repro.crypto.random_source import RandomSource
     from repro.harness.builder import fresh_timing_context
+    from repro.obs import CountingSink, Tracer
+    from repro.obs import trace as obs_trace
     from repro.sim.timing import get_context
+
+    from bench_wallclock_pipeline import TRACE_SAMPLE_RATE
 
     fresh_timing_context()
     fleet = build_fleet(num_hosts=hosts, seed=77, capacity=guests,
@@ -76,6 +81,18 @@ def _measure_shape(hosts: int, guests: int, steps: int) -> dict:
     wall_route = time.perf_counter() - wall_start
     commands = guests * steps
 
+    # The same routed workload again with spans on (1-in-N sampled), so
+    # the committed numbers record what --trace costs per fleet shape.
+    tracer = Tracer(CountingSink(), sample_rate=TRACE_SAMPLE_RATE)
+    wall_start = time.perf_counter()
+    with obs_trace.tracer_scope(tracer):
+        for _step in range(steps):
+            for name in names:
+                rng = streams[name]
+                wire = _extend_wire(rng.randint_below(16), rng.bytes(20))
+                fleet.router.send(name, wire)
+    wall_traced = time.perf_counter() - wall_start
+
     storm_moves = 0
     storm_wall = 0.0
     storm_virtual_us = 0.0
@@ -92,6 +109,8 @@ def _measure_shape(hosts: int, guests: int, steps: int) -> dict:
         "hosts": hosts,
         "commands": commands,
         "ops_per_sec": round(commands / wall_route, 1),
+        "traced_ops_per_sec": round(commands / wall_traced, 1),
+        "trace_sample_rate": TRACE_SAMPLE_RATE,
         "p99_virtual_us": round(_p99(latencies), 3),
         "storm_moves": storm_moves,
         "storm_wall_seconds": round(storm_wall, 6),
@@ -142,7 +161,8 @@ def main(argv=None) -> int:
     for shape in payload["shapes"]:
         line = (
             f"hosts={shape['hosts']:>2}: {shape['ops_per_sec']:>10,.0f} cmds/s "
-            f"routed, p99 {shape['p99_virtual_us']:.1f} virtual us"
+            f"routed ({shape['traced_ops_per_sec']:,.0f} traced), "
+            f"p99 {shape['p99_virtual_us']:.1f} virtual us"
         )
         if shape["storm_moves"]:
             line += (
@@ -206,6 +226,7 @@ def test_committed_cluster_numbers_are_fresh():
     cluster = committed["cluster"]
     assert cluster["ops_per_sec"] > 0
     assert len(cluster["shapes"]) >= 3
+    assert all(s["traced_ops_per_sec"] > 0 for s in cluster["shapes"])
     stormed = [s for s in cluster["shapes"] if s["hosts"] > 1]
     assert all(s["storm_moves"] >= 1 for s in stormed)
 

@@ -108,8 +108,14 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_trace(path: str):
-    """``--trace PATH`` plumbing: (tracer, registry, closer) or Nones."""
+def _open_trace(path: str, sample_rate: int = 1):
+    """``--trace PATH`` plumbing: (tracer, registry, closer) or Nones.
+
+    ``sample_rate`` > 1 records only 1-in-N root span trees (deterministic
+    head sampling; counters stay exact).  The returned closer drains the
+    sink's line buffer before closing the stream — and flushes without
+    closing when the stream is stdout.
+    """
     import contextlib
 
     from repro.obs import CounterRegistry, JsonlSink, Tracer
@@ -117,8 +123,12 @@ def _open_trace(path: str):
     if path is None:
         return None, None, contextlib.nullcontext()
     stream = sys.stdout if path == "-" else open(path, "w")
-    closer = contextlib.nullcontext() if path == "-" else stream
-    return Tracer(JsonlSink(stream)), CounterRegistry(), closer
+    sink = JsonlSink(stream)
+    closer = contextlib.ExitStack()
+    if path != "-":
+        closer.push(stream)
+    closer.callback(sink.flush)  # runs before the stream close above
+    return Tracer(sink, sample_rate=sample_rate), CounterRegistry(), closer
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -132,7 +142,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.supervised:
         return _cmd_chaos_supervised(args)
     plan = default_chaos_plan(args.seed)
-    tracer, registry, closer = _open_trace(args.trace)
+    tracer, registry, closer = _open_trace(args.trace, args.trace_sample)
     with closer:
         if args.single:
             report = run_chaos_workload(
@@ -173,7 +183,7 @@ def _cmd_chaos_supervised(args: argparse.Namespace) -> int:
 
     commands = args.commands if args.commands != 1000 else SUPERVISED_COMMANDS
     plan = supervised_chaos_plan(args.seed)
-    tracer, registry, closer = _open_trace(args.trace)
+    tracer, registry, closer = _open_trace(args.trace, args.trace_sample)
     with closer:
         if args.single:
             report = run_supervised_chaos(
@@ -215,7 +225,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     plan = default_cluster_plan(
         args.seed, args.hosts, crash_step=max(1, (2 * args.steps) // 3)
     )
-    tracer, registry, closer = _open_trace(args.trace)
+    tracer, registry, closer = _open_trace(args.trace, args.trace_sample)
     with closer:
         if args.single:
             report = run_cluster_workload(
@@ -283,8 +293,12 @@ def cmd_health(args: argparse.Namespace) -> int:
 def _print_trace_summary(path, tracer, registry) -> None:
     if tracer is None or path == "-":
         return
+    sampled = (
+        f" (1-in-{tracer.sample_rate} of {tracer.roots_seen} trees)"
+        if tracer.sample_rate > 1 else ""
+    )
     print(f"trace: {tracer.roots_emitted} root spans "
-          f"({tracer.spans_started} total) -> {path}")
+          f"({tracer.spans_started} total){sampled} -> {path}")
     if registry is not None and registry.series():
         print("counters:")
         for line in registry.exposition().splitlines():
@@ -332,7 +346,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     # Spans only — experiments reset the timing context once per measured
     # configuration, and a counter registry is bound to a single epoch.
-    tracer, _registry, closer = _open_trace(getattr(args, "trace", None))
+    tracer, _registry, closer = _open_trace(
+        getattr(args, "trace", None), getattr(args, "trace_sample", 1)
+    )
     with closer:
         scope = (
             obs_trace.tracer_scope(tracer)
@@ -487,14 +503,28 @@ def cmd_profile(args: argparse.Namespace) -> int:
     """Wall-clock profile of the simulator's own command pipeline."""
     from repro.harness.profiling import profile_pipeline
 
+    sink = None
+    tracer = None
+    if args.top:
+        from repro.obs import SelfTimeSink, Tracer
+
+        sink = SelfTimeSink()
+        tracer = Tracer(sink)  # rate 1: every tree feeds the aggregate
     profile = profile_pipeline(
         commands=args.commands,
         batch_size=args.batch,
         mode=AccessMode(args.mode),
         seed=args.seed,
+        tracer=tracer,
+        supervised=args.supervised,
     )
     for line in profile.summary_lines():
         print(line)
+    if sink is not None:
+        print()
+        print(f"hottest {args.top} span sites by wall-clock self time:")
+        for line in sink.format_top(args.top):
+            print(line)
     return 0
 
 
@@ -538,6 +568,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--trace", metavar="PATH", default=None,
                          help="write span trees of the chaotic run as JSONL "
                               "(- for stdout)")
+    p_chaos.add_argument("--trace-sample", metavar="N", type=int, default=1,
+                         help="record 1-in-N root span trees (deterministic "
+                              "head sampling; counters stay exact)")
     p_chaos.set_defaults(fn=cmd_chaos)
 
     p_cluster = sub.add_parser(
@@ -553,6 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--trace", metavar="PATH", default=None,
                            help="write span trees of the chaotic run as JSONL "
                                 "(- for stdout)")
+    p_cluster.add_argument("--trace-sample", metavar="N", type=int, default=1,
+                           help="record 1-in-N root span trees (deterministic "
+                                "head sampling; counters stay exact)")
     p_cluster.set_defaults(fn=cmd_cluster)
 
     p_attack = sub.add_parser("attack-matrix", help="run the attack toolkit")
@@ -569,6 +605,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="smaller sizes for a fast run")
     p_exp.add_argument("--trace", metavar="PATH", default=None,
                        help="write span trees as JSONL (- for stdout)")
+    p_exp.add_argument("--trace-sample", metavar="N", type=int, default=1,
+                       help="record 1-in-N root span trees (deterministic "
+                            "head sampling)")
     p_exp.set_defaults(fn=cmd_experiment)
 
     p_trace = sub.add_parser(
@@ -623,6 +662,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--mode", choices=["baseline", "improved"],
                            default="improved")
     p_profile.add_argument("--seed", type=int, default=2010)
+    p_profile.add_argument("--top", metavar="N", type=int, default=0,
+                           help="also print the N hottest span sites by "
+                                "wall-clock self time (pooled span sink)")
+    p_profile.add_argument("--supervised", action="store_true",
+                           help="profile with the resilience supervisor "
+                                "attached")
     p_profile.set_defaults(fn=cmd_profile)
 
     p_health = sub.add_parser(

@@ -19,7 +19,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import List
 
-from repro.sim.timing import charge, get_context
+from repro.sim import timing as _timing
+from repro.sim.timing import charge
 
 GENESIS = hashlib.sha256(b"vtpm-audit-genesis").digest()
 
@@ -85,15 +86,16 @@ class AuditLog:
         The encoded bytes (and therefore the eventual chain hash) are fully
         determined here; only the SHA-256 work is deferred to the next read.
         """
-        sequence = len(self._flushed) + len(self._pending)
-        timestamp_us = get_context().clock.now_us
+        pending = self._pending
+        sequence = len(self._flushed) + len(pending)
+        timestamp_us = _timing._current_context.clock.now_us
         encoded = (
             f"{sequence}|{timestamp_us:.3f}|{subject}|"
             f"{instance}|{operation}|"
             f"{'ALLOW' if allowed else 'DENY'}|{reason}"
         ).encode("utf-8")
         charge("ac.audit.append", len(encoded))
-        self._pending.append(
+        pending.append(
             (sequence, timestamp_us, subject, instance, operation, allowed,
              reason, encoded)
         )

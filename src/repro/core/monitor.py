@@ -43,11 +43,28 @@ from repro.core.identity import IdentityRegistry
 from repro.core.policy import PolicyEngine, classify_ordinal
 from repro.obs import counters as obs_counters
 from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_SPAN
 from repro.sim.timing import charge
 from repro.tpm.constants import ordinal_name
 from repro.tpm.marshal import ParsedCommand, parse_command
 from repro.util.errors import IdentityError, MarshalError
 from repro.xen.domain import Domain
+
+_AC_DECISIONS_ALLOW = obs_counters.counter("ac.decisions", outcome="allow")
+_AC_DECISIONS_DENY = obs_counters.counter("ac.decisions", outcome="deny")
+_AC_CACHE_HIT = obs_counters.counter("ac.cache", result="hit")
+_AC_CACHE_MISS = obs_counters.counter("ac.cache", result="miss")
+#: per-class ``ac.commands`` handles, filled on first sight of each class
+_AC_COMMANDS: Dict[str, obs_counters.CounterHandle] = {}
+
+
+def _ac_commands(cls: str) -> obs_counters.CounterHandle:
+    handle = _AC_COMMANDS.get(cls)
+    if handle is None:
+        handle = _AC_COMMANDS[cls] = obs_counters.counter(
+            "ac.commands", cls=cls
+        )
+    return handle
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,6 +92,12 @@ class Monitor:
     #: access-control monitor so degraded-mode ordinal gating is enforced
     #: at the reference monitor, not only at the ring's admission layer.
     health_gate = None
+    #: optional companion index (``Supervisor.unhealthy_instances``):
+    #: instance ids with a non-healthy record.  When present, the gate
+    #: call is skipped for ids not listed — one dict-membership test per
+    #: command in the all-green steady state.  ``None`` means "no index,
+    #: always consult the gate".
+    health_index = None
 
     def authorize(
         self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
@@ -177,28 +200,35 @@ class AccessControlMonitor(Monitor):
         self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
         wire: bytes,
     ) -> AuthorizationResult:
-        with obs_trace.span("authz", instance=instance_id) as span:
-            result = self._authorize(caller, instance_id, bound_identity_hex,
-                                     wire, span)
-        registry = obs_counters.current_registry()
-        if registry is not None:
+        tracer = obs_trace._current_tracer
+        if tracer is None:
+            result = self._authorize(
+                caller, instance_id, bound_identity_hex, wire, NULL_SPAN, None
+            )
+        else:
+            with tracer.start_span("authz", {"instance": instance_id}) as span:
+                result = self._authorize(
+                    caller, instance_id, bound_identity_hex, wire, span,
+                    tracer,
+                )
+        if obs_counters._current_registry is not None:
             cls = (
                 classify_ordinal(result.parsed.ordinal).value
                 if result.parsed is not None else "malformed"
             )
-            registry.inc("ac.commands", cls=cls)
-            registry.inc(
-                "ac.decisions",
-                outcome="allow" if result.allowed else "deny",
-            )
+            _ac_commands(cls).inc()
+            if result.allowed:
+                _AC_DECISIONS_ALLOW.inc()
+            else:
+                _AC_DECISIONS_DENY.inc()
         return result
 
     def _authorize(
         self, caller: Domain, instance_id: int, bound_identity_hex: Optional[str],
-        wire: bytes, span,
+        wire: bytes, span, tracer,
     ) -> AuthorizationResult:
         self.checks += 1
-        with obs_trace.span("parse"):
+        if tracer is None:
             try:
                 parsed = parse_command(wire)
             except MarshalError as exc:  # malformed frames: deny early
@@ -206,19 +236,35 @@ class AccessControlMonitor(Monitor):
                     f"dom{caller.domid}", instance_id, "malformed",
                     f"unparseable command frame: {exc}",
                 )
+        else:
+            with tracer.start_span("parse"):
+                try:
+                    parsed = parse_command(wire)
+                except MarshalError as exc:
+                    return self._deny(
+                        f"dom{caller.domid}", instance_id, "malformed",
+                        f"unparseable command frame: {exc}",
+                    )
         ordinal = parsed.ordinal
         config = self.config
+        command_class = classify_ordinal(ordinal)
 
         # Resilience gating runs before the decision cache: health state
         # changes without bumping any cache epoch, so a cached allow must
         # never bypass a quarantine.  The gate itself is charge-free.
-        if self.health_gate is not None:
-            veto = self.health_gate(instance_id, classify_ordinal(ordinal))
-            if veto is not None:
-                return self._deny(
-                    f"dom{caller.domid}", instance_id, ordinal_name(ordinal),
-                    veto,
-                )
+        # With the supervisor's unhealthy-instance index installed, the
+        # steady-state cost is one membership test; the full gate walk
+        # runs only while this instance is actually unhealthy.
+        gate = self.health_gate
+        if gate is not None:
+            index = self.health_index
+            if index is None or instance_id in index:
+                veto = gate(instance_id, command_class)
+                if veto is not None:
+                    return self._deny(
+                        f"dom{caller.domid}", instance_id,
+                        ordinal_name(ordinal), veto,
+                    )
 
         cache_key: Optional[Tuple] = None
         if config.authz_cache:
@@ -227,29 +273,35 @@ class AccessControlMonitor(Monitor):
                 self._cache.clear()
                 self._cache_epoch = epoch
             cache_key = (
-                caller.domid, caller.measurement, instance_id,
-                classify_ordinal(ordinal),
+                caller.domid, caller.measurement, instance_id, command_class,
             )
             hit = self._cache.get(cache_key)
             if hit is not None:
                 self.cache_hits += 1
-                span.set("cache", "hit")
-                obs_counters.inc("ac.cache", result="hit")
+                _AC_CACHE_HIT.inc()
                 charge("ac.policy.cache_hit")
                 subject, reason = hit
                 operation = ordinal_name(ordinal)
                 if config.audit:
-                    with obs_trace.span("audit"):
+                    if tracer is None:
                         self.audit.append_buffered(
                             subject, instance_id, operation, True, reason
                         )
+                    else:
+                        span.set("cache", "hit")
+                        with tracer.start_span("audit"):
+                            self.audit.append_buffered(
+                                subject, instance_id, operation, True, reason
+                            )
+                elif tracer is not None:
+                    span.set("cache", "hit")
                 return AuthorizationResult(
                     allowed=True, subject=subject, operation=operation,
                     reason=reason, parsed=parsed,
                 )
             self.cache_misses += 1
             span.set("cache", "miss")
-            obs_counters.inc("ac.cache", result="miss")
+            _AC_CACHE_MISS.inc()
 
         operation = ordinal_name(ordinal)
 
@@ -293,10 +345,15 @@ class AccessControlMonitor(Monitor):
 
         # 3. audit the allow
         if config.audit:
-            with obs_trace.span("audit"):
+            if tracer is None:
                 self.audit.append_buffered(
                     subject, instance_id, operation, True, reason
                 )
+            else:
+                with tracer.start_span("audit"):
+                    self.audit.append_buffered(
+                        subject, instance_id, operation, True, reason
+                    )
         return AuthorizationResult(
             allowed=True, subject=subject, operation=operation, reason=reason,
             parsed=parsed,
@@ -322,7 +379,8 @@ class AccessControlMonitor(Monitor):
         it as a denial and chain it into the audit log — this is the rogue
         re-binding attack being stopped at the configuration layer."""
         self.denials += 1
-        obs_counters.inc("ac.decisions", outcome="deny")
+        if obs_counters._current_registry is not None:
+            _AC_DECISIONS_DENY.inc()
         if self.config.audit:
             self.audit.append_buffered(
                 subject, instance_id, "VTPM_Rebind", False, reason
@@ -333,10 +391,16 @@ class AccessControlMonitor(Monitor):
     ) -> AuthorizationResult:
         self.denials += 1
         if self.config.audit:
-            with obs_trace.span("audit"):
+            tracer = obs_trace._current_tracer
+            if tracer is None:
                 self.audit.append_buffered(
                     subject, instance_id, operation, False, reason
                 )
+            else:
+                with tracer.start_span("audit"):
+                    self.audit.append_buffered(
+                        subject, instance_id, operation, False, reason
+                    )
         return AuthorizationResult(
             allowed=False, subject=subject, operation=operation, reason=reason
         )

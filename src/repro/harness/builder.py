@@ -175,6 +175,7 @@ class Platform:
             self.manager, self.rng.fork("supervisor"), **kwargs
         )
         self.monitor.health_gate = self.supervisor.gate
+        self.monitor.health_index = self.supervisor.unhealthy_instances
         for handle in self.guests.values():
             self.supervisor.attach(handle.backend)
         return self.supervisor

@@ -15,6 +15,7 @@ are both thin wrappers around :func:`profile_pipeline`.
 from __future__ import annotations
 
 import contextlib
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -135,26 +136,39 @@ def profile_pipeline(
         if tracer is not None
         else contextlib.nullcontext()
     )
-    with scope:
-        if batch_size <= 1:
-            transport = guest.frontend.transport
-            start = time.perf_counter()
-            for _ in range(commands):
-                transport(wire)
-            wall = time.perf_counter() - start
-        else:
-            transport_batch = getattr(guest.frontend, "transport_batch", None)
-            if transport_batch is None:
-                raise ReproError("this build has no batched transport")
-            full, rest = divmod(commands, batch_size)
-            batch = [wire] * batch_size
-            tail = [wire] * rest
-            start = time.perf_counter()
-            for _ in range(full):
-                transport_batch(batch)
-            if tail:
-                transport_batch(tail)
-            wall = time.perf_counter() - start
+    # A cycle collection landing inside one variant's timed loop but not
+    # another's would skew the traced/supervised overhead ratios, so the
+    # collector is paused (never triggered, still re-enabled) while the
+    # clock runs.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with scope:
+            if batch_size <= 1:
+                transport = guest.frontend.transport
+                start = time.perf_counter()
+                for _ in range(commands):
+                    transport(wire)
+                wall = time.perf_counter() - start
+            else:
+                transport_batch = getattr(
+                    guest.frontend, "transport_batch", None
+                )
+                if transport_batch is None:
+                    raise ReproError("this build has no batched transport")
+                full, rest = divmod(commands, batch_size)
+                batch = [wire] * batch_size
+                tail = [wire] * rest
+                start = time.perf_counter()
+                for _ in range(full):
+                    transport_batch(batch)
+                if tail:
+                    transport_batch(tail)
+                wall = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     virtual_us = clock.now_us - virtual_start
 
     monitor = platform.monitor

@@ -20,7 +20,9 @@ Typical use::
 """
 
 from repro.obs.counters import (
+    CounterHandle,
     CounterRegistry,
+    counter,
     current_registry,
     inc,
     install_registry,
@@ -31,6 +33,7 @@ from repro.obs.sinks import (
     CountingSink,
     InMemorySink,
     JsonlSink,
+    SelfTimeSink,
     format_span_tree,
     load_jsonl,
     validate_tree_dict,
@@ -48,13 +51,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CounterHandle",
     "CounterRegistry",
     "CountingSink",
     "InMemorySink",
     "JsonlSink",
     "NULL_SPAN",
+    "SelfTimeSink",
     "Span",
     "Tracer",
+    "counter",
     "current_registry",
     "current_tracer",
     "format_span_tree",

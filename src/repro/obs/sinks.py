@@ -4,15 +4,35 @@
   tree renderer consume.
 * :class:`JsonlSink` — one JSON document per root tree, appended to a
   file-like or path; the offline-analysis format
-  (``python -m repro chaos --trace out.jsonl``).
+  (``python -m repro chaos --trace out.jsonl``).  Lines are buffered and
+  written in batches; call :meth:`~JsonlSink.flush` before closing the
+  underlying stream.
 * :class:`CountingSink` — discards trees, keeps totals; used when the
   benchmark wants tracing's *cost* without its memory footprint.
+* :class:`SelfTimeSink` — aggregates per-site wall self-time without
+  retaining trees; feeds ``python -m repro profile --top N``.
+
+Each sink declares whether it **retains** emitted trees via its
+``retains`` class attribute.  A non-retaining sink (``retains = False``)
+promises to be done with the tree the moment ``emit`` returns, which lets
+the :class:`~repro.obs.trace.Tracer` recycle every span of the tree into
+its pool — the steady state then allocates nothing per command.
+
+Sinks also declare whether they consume span **wall-clock** times via
+``wants_wall``.  With it ``False`` the tracer skips both host-clock
+reads per span — on virtualized hosts those are the most expensive
+instructions in the span lifecycle.  The counting and JSONL sinks opt
+out: the offline JSONL artifact records virtual intervals only and is
+therefore a pure function of the seed (byte-reproducible), which is
+exactly what the replay/differential oracles want.  The in-memory and
+self-time sinks keep wall capture on (the CLI tree renderer and
+``profile --top`` report it).
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional, TextIO
+from typing import Dict, List, Optional, TextIO, Tuple
 
 from repro.obs.trace import Span, validate_span_tree
 from repro.util.errors import ReproError
@@ -20,6 +40,11 @@ from repro.util.errors import ReproError
 
 class InMemorySink:
     """Collects root spans in order; the default sink for tests."""
+
+    #: emitted trees are kept — the tracer must not recycle them
+    retains = True
+    #: the CLI tree renderer prints per-span wall durations
+    wants_wall = True
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
@@ -46,20 +71,45 @@ class InMemorySink:
 
 
 class JsonlSink:
-    """Writes each root tree as one JSON line (the offline trace format)."""
+    """Writes each root tree as one JSON line (the offline trace format).
 
-    def __init__(self, stream: TextIO) -> None:
+    Serialized lines accumulate in a buffer and are written to the stream
+    every ``flush_every`` trees; :meth:`flush` drains the remainder.  The
+    tree is serialized inside ``emit`` (the spans are pooled and will be
+    reused), so only the encoded strings are retained.
+    """
+
+    retains = False
+    #: virtual intervals only — the artifact stays seed-reproducible
+    wants_wall = False
+
+    def __init__(self, stream: TextIO, flush_every: int = 64) -> None:
         self._stream = stream
+        self._flush_every = max(1, int(flush_every))
+        self._buffer: List[str] = []
         self.roots_written = 0
 
     def emit(self, root: Span) -> None:
-        json.dump(root.to_dict(), self._stream, separators=(",", ":"))
-        self._stream.write("\n")
+        buffer = self._buffer
+        buffer.append(json.dumps(root.to_dict(), separators=(",", ":")))
         self.roots_written += 1
+        if len(buffer) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write all buffered lines; call before closing the stream."""
+        buffer = self._buffer
+        if buffer:
+            self._stream.write("\n".join(buffer) + "\n")
+            buffer.clear()
 
 
 class CountingSink:
     """Counts emitted trees and spans without retaining them."""
+
+    retains = False
+    #: cost accounting needs no wall times inside the spans themselves
+    wants_wall = False
 
     def __init__(self) -> None:
         self.roots = 0
@@ -67,7 +117,84 @@ class CountingSink:
 
     def emit(self, root: Span) -> None:
         self.roots += 1
-        self.spans += sum(1 for _ in root.walk())
+        count = 0
+        todo = [root]
+        while todo:
+            span = todo.pop()
+            count += 1
+            if span.children:
+                todo.extend(span.children)
+        self.spans += count
+
+
+class SelfTimeSink:
+    """Aggregates wall-clock **self time** per span site, discarding trees.
+
+    Self time is a span's wall duration minus the wall durations of its
+    direct children — the harness cost attributable to that site alone.
+    This is what ``python -m repro profile --top N`` reports, so hot-site
+    hunts need no external profiler.
+    """
+
+    retains = False
+    #: self-time *is* wall time — keep the per-span clock reads on
+    wants_wall = True
+
+    def __init__(self) -> None:
+        #: name -> [count, self_wall_ns, total_wall_ns]
+        self.sites: Dict[str, List[float]] = {}
+        self.roots = 0
+
+    def emit(self, root: Span) -> None:
+        self.roots += 1
+        sites = self.sites
+        todo = [root]
+        while todo:
+            span = todo.pop()
+            total = span.end_wall_ns - span.start_wall_ns
+            own = total
+            children = span.children
+            if children:
+                todo.extend(children)
+                for child in children:
+                    own -= child.end_wall_ns - child.start_wall_ns
+            entry = sites.get(span.name)
+            if entry is None:
+                sites[span.name] = [1, own, total]
+            else:
+                entry[0] += 1
+                entry[1] += own
+                entry[2] += total
+
+    def top(self, n: int = 10) -> List[Tuple[str, int, int, int]]:
+        """The ``n`` hottest sites by cumulative self time.
+
+        Returns ``(name, count, self_wall_ns, total_wall_ns)`` tuples,
+        descending by self time with name as a deterministic tiebreak.
+        """
+        rows = [
+            (name, int(entry[0]), int(entry[1]), int(entry[2]))
+            for name, entry in self.sites.items()
+        ]
+        rows.sort(key=lambda row: (-row[2], row[0]))
+        return rows[: max(0, int(n))]
+
+    def format_top(self, n: int = 10) -> List[str]:
+        """Human-readable table lines for :meth:`top`."""
+        rows = self.top(n)
+        if not rows:
+            return ["(no spans recorded)"]
+        lines = [
+            f"{'site':<24} {'count':>8} {'self-us':>12} "
+            f"{'total-us':>12} {'self-us/call':>13}"
+        ]
+        for name, count, self_ns, total_ns in rows:
+            lines.append(
+                f"{name:<24} {count:>8} {self_ns / 1000.0:>12.1f} "
+                f"{total_ns / 1000.0:>12.1f} "
+                f"{self_ns / 1000.0 / count:>13.3f}"
+            )
+        return lines
 
 
 def load_jsonl(text: str) -> List[dict]:

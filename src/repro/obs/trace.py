@@ -8,7 +8,11 @@ simulator knows about:
   :class:`~repro.sim.timing.TimingContext` clock, so span durations add up
   exactly to the cost-model charges made inside them;
 * **wall-clock nanoseconds** — ``time.perf_counter_ns`` on the host, so
-  the harness's own hot-path cost is attributable per stage.
+  the harness's own hot-path cost is attributable per stage.  Wall
+  capture is *sink-declared*: a sink with ``wants_wall = False`` (the
+  counting and JSONL sinks — their artifacts are deterministic functions
+  of the seed) skips both host-clock reads per span, the single most
+  expensive instruction in the span lifecycle on virtualized hosts.
 
 Instrumented code calls :func:`span` at named sites.  The contract is the
 same as the fault injector's :func:`~repro.faults.injector.fire`: with no
@@ -17,12 +21,43 @@ shared no-op span, charges nothing to the virtual clock, and touches no
 simulation state — so tracing can never alter behaviour, enabled or not.
 Spans only ever *read* the clock; they never advance it.
 
+Hot call sites go one step further and use the **guarded-span pattern**::
+
+    tracer = obs_trace._current_tracer
+    if tracer is None:
+        ...plain body...
+    else:
+        with tracer.start_span("site", {"key": value}):
+            ...body...
+
+so the disabled path never even builds the attribute dict.  Attribute
+dicts handed to :meth:`Tracer.start_span` are captured **lazily** — the
+span stores the reference, copies nothing, and materializes a dict only
+if :meth:`Span.set` is called later.
+
 A :class:`Tracer` keeps the open-span stack.  When a root span closes,
 the finished tree is emitted to the tracer's sink (see
 :mod:`repro.obs.sinks`).  Because the simulator is single-threaded and
 the split driver is synchronous, the stack nesting *is* the causal
 nesting: ``frontend.command`` encloses ``ring.send`` encloses
 ``manager.dispatch`` encloses ``authz``/``engine``/``serialize``.
+
+Two cost features keep tracing near-free:
+
+* **span pooling** — when the sink does not retain emitted trees (its
+  ``retains`` attribute is ``False``, as for the counting and JSONL
+  sinks), every span of a finished tree is recycled into a free list and
+  reused — including its child list and event list objects — so the
+  steady state allocates nothing per command;
+* **deterministic head sampling** — ``Tracer(sink, sample_rate=N)``
+  records only roots whose zero-based index ``i`` satisfies
+  ``(i - sample_seed) % N == 0``.  The schedule is a pure function of
+  the root count and the seed: no RNG, no clock, so two same-seed runs
+  sample the identical trees (replay-identical) and neither timebase is
+  perturbed.  While a root is suppressed the tracer hides itself from
+  the ambient slot, so nested guarded sites take their tracer-is-None
+  path — a skipped tree costs one sampling check, not one call per span.
+  Counters are unaffected by sampling — they stay exact.
 """
 
 from __future__ import annotations
@@ -31,8 +66,12 @@ import contextlib
 import time
 from typing import Dict, Iterator, List, Optional
 
+from repro.sim import timing as _timing
 from repro.sim.timing import get_context
 from repro.util.errors import ReproError
+
+#: recycled spans kept per tracer; trees are ~10 spans, so this is ample
+_POOL_CAP = 1024
 
 
 class Span:
@@ -45,13 +84,18 @@ class Span:
     )
 
     def __init__(self, name: str, attrs: Optional[Dict] = None,
-                 tracer: Optional["Tracer"] = None) -> None:
+                 tracer: Optional["Tracer"] = None, wall: bool = True) -> None:
         self.name = name
-        self.attrs: Dict = dict(attrs) if attrs else {}
+        # Lazy capture: the caller's dict is stored by reference (hot sites
+        # pass a fresh literal); None means "no attributes yet".
+        self.attrs: Optional[Dict] = attrs
         self._ctx = get_context()
-        self.start_virtual_us = self._ctx.clock.now_us
+        self.start_virtual_us = self._ctx.clock._now_us
         self.end_virtual_us: Optional[float] = None
-        self.start_wall_ns = time.perf_counter_ns()
+        # Wall capture is sink-declared (``wants_wall``); with it off both
+        # endpoints read 0 — host clock reads are the single most
+        # expensive instruction in the span lifecycle on virtualized hosts.
+        self.start_wall_ns = time.perf_counter_ns() if wall else 0
         self.end_wall_ns: Optional[int] = None
         self.children: List["Span"] = []
         self.events: List[Dict] = []
@@ -61,7 +105,10 @@ class Span:
 
     def set(self, key: str, value) -> "Span":
         """Attach an attribute discovered mid-span (e.g. cache hit/miss)."""
-        self.attrs[key] = value
+        if self.attrs is None:
+            self.attrs = {key: value}
+        else:
+            self.attrs[key] = value
         return self
 
     def add_event(self, name: str, **attrs) -> None:
@@ -102,8 +149,11 @@ class Span:
         out: Dict = {
             "name": self.name,
             "virtual_us": [self.start_virtual_us, self.end_virtual_us],
-            "wall_ns": [self.start_wall_ns, self.end_wall_ns],
         }
+        if self.end_wall_ns:
+            # Only when the sink captured wall time; omitting it keeps the
+            # offline artifact a pure function of the seed.
+            out["wall_ns"] = [self.start_wall_ns, self.end_wall_ns]
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.events:
@@ -155,46 +205,189 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
-class Tracer:
-    """Owns the open-span stack and emits finished root trees to a sink."""
+class _SkipScope:
+    """Returned for a sampled-out root span.
 
-    def __init__(self, sink=None) -> None:
+    While a root is suppressed the tracer **hides itself** from the
+    ambient slot (``_current_tracer`` becomes ``None`` for the root's
+    dynamic extent), so every nested guarded site takes its plain
+    tracer-is-None path — a skipped tree costs one sampling check at the
+    root, not one call per span.  ``__exit__`` reinstalls the tracer.
+    One shared instance per tracer; skipped roots cannot nest (nested
+    sites never see the tracer while it is hidden).
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> "_SkipScope":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _current_tracer
+        tracer = self._tracer
+        tracer._skipping = False
+        if tracer._hid:
+            tracer._hid = False
+            _current_tracer = tracer
+
+    def set(self, key: str, value) -> "_SkipScope":
+        return self
+
+    def add_event(self, name: str, **attrs) -> None:
+        return None
+
+
+class Tracer:
+    """Owns the open-span stack and emits finished root trees to a sink.
+
+    ``sample_rate=N`` keeps 1-in-N root trees (deterministic head
+    sampling; ``sample_seed`` rotates which residue class is kept).
+    Suppressed roots hide the tracer for their dynamic extent, and —
+    when the sink's ``retains`` attribute is false — emitted spans are
+    pooled and reused, child lists and all.
+    """
+
+    def __init__(self, sink=None, sample_rate: int = 1,
+                 sample_seed: int = 0) -> None:
         if sink is None:
             from repro.obs.sinks import InMemorySink
 
             sink = InMemorySink()
         self.sink = sink
+        self.sample_rate = max(1, int(sample_rate))
+        self.sample_seed = int(sample_seed)
+        self._retains = bool(getattr(sink, "retains", True))
+        #: sinks that never read span wall times (counting, JSONL) opt out
+        #: of the two host-clock reads per span via ``wants_wall = False``
+        self._wall = bool(getattr(sink, "wants_wall", True))
         self._stack: List[Span] = []
+        self._pool: List[Span] = []
+        self._skipping = False
+        self._hid = False
+        self._root_claimed = False
+        self._skip_scope = _SkipScope(self)
         self.spans_started = 0
+        #: roots *seen* (sampled or not) — the sampling schedule's input
+        self.roots_seen = 0
         self.roots_emitted = 0
+        self.roots_skipped = 0
+
+    def keep_root(self) -> bool:
+        """Consume the next root index; ``True`` if that root is recorded.
+
+        The root-site fast path: a known-root call site asks for the
+        sampling verdict *before* building its attribute dict, and on
+        ``False`` runs its body with the ambient tracer hidden by hand
+        (plain try/finally, no span machinery at all)::
+
+            if tracer._stack or tracer.keep_root():
+                with tracer.start_span("site", {...}): ...body...
+            else:
+                obs_trace._current_tracer = None
+                try: ...body...
+                finally: obs_trace._current_tracer = tracer
+
+        On ``True`` the verdict is remembered, so the immediately
+        following ``start_span`` does not re-sample (the root is not
+        double-counted).
+        """
+        index = self.roots_seen
+        self.roots_seen = index + 1
+        rate = self.sample_rate
+        if rate <= 1 or not (index - self.sample_seed) % rate:
+            self._root_claimed = True
+            return True
+        self.roots_skipped += 1
+        return False
 
     def start_span(self, name: str, attrs: Optional[Dict] = None) -> Span:
-        span = Span(name, attrs, tracer=self)
-        if self._stack:
-            self._stack[-1].children.append(span)
-        self._stack.append(span)
+        if self._skipping:
+            # Direct call on a captured tracer inside a suppressed root
+            # (ambient sites never get here: the tracer is hidden).
+            return NULL_SPAN
+        stack = self._stack
+        if not stack:
+            if self._root_claimed:
+                self._root_claimed = False  # keep_root() already sampled
+            else:
+                index = self.roots_seen
+                self.roots_seen = index + 1
+                rate = self.sample_rate
+                if rate > 1 and (index - self.sample_seed) % rate:
+                    global _current_tracer
+                    self.roots_skipped += 1
+                    self._skipping = True
+                    if _current_tracer is self:
+                        self._hid = True
+                        _current_tracer = None
+                    return self._skip_scope
+        pool = self._pool
+        if pool:
+            span = pool.pop()
+            span.name = name
+            span.attrs = attrs
+            ctx = _timing._current_context
+            span._ctx = ctx
+            span.start_virtual_us = ctx.clock._now_us
+            span.end_virtual_us = None
+            span.start_wall_ns = time.perf_counter_ns() if self._wall else 0
+            span.end_wall_ns = None
+        else:
+            span = Span(name, attrs, tracer=self, wall=self._wall)
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
         self.spans_started += 1
         return span
 
     def _finish(self, span: Span) -> None:
-        if not self._stack or self._stack[-1] is not span:
-            innermost = self._stack[-1].name if self._stack else "<none>"
+        stack = self._stack
+        if not stack or stack[-1] is not span:
+            innermost = stack[-1].name if stack else "<none>"
             raise ReproError(
                 f"mismatched span nesting: closing {span.name!r} but the "
                 f"innermost open span is {innermost!r}"
             )
-        self._stack.pop()
-        if get_context() is not span._ctx:
+        stack.pop()
+        ctx = span._ctx
+        if _timing._current_context is not ctx:
             raise ReproError(
                 f"span {span.name!r} crosses a timing-context reset; its "
                 "virtual interval would mix measurement epochs — close all "
                 "spans before calling fresh_timing_context()"
             )
-        span.end_virtual_us = span._ctx.clock.now_us
-        span.end_wall_ns = time.perf_counter_ns()
-        if not self._stack:
+        span.end_virtual_us = ctx.clock._now_us
+        span.end_wall_ns = time.perf_counter_ns() if self._wall else 0
+        if not stack:
             self.roots_emitted += 1
             self.sink.emit(span)
+            if not self._retains:
+                self._recycle(span)
+
+    def _recycle(self, root: Span) -> None:
+        """Return every span of a finished, emitted tree to the free list.
+
+        Only called for non-retaining sinks, so nothing holds a reference
+        to the tree anymore.  Child/event list objects are kept on their
+        span and cleared, so reuse allocates nothing.
+        """
+        pool = self._pool
+        todo = [root]
+        while todo:
+            span = todo.pop()
+            children = span.children
+            if children:
+                todo.extend(children)
+                children.clear()
+            if span.events:
+                span.events.clear()
+            span.attrs = None
+            span._ctx = None
+            if len(pool) < _POOL_CAP:
+                pool.append(span)
 
     @property
     def open_spans(self) -> int:

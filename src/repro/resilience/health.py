@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.obs import counters as obs_counters
 from repro.util.errors import SupervisionError
@@ -98,6 +98,12 @@ class InstanceHealth:
         default_factory=list
     )
     failure_counts: Dict[str, int] = field(default_factory=dict)
+    #: observer invoked after every state change — the supervisor uses it
+    #: to keep its unhealthy-instance index in sync (see
+    #: ``Supervisor.unhealthy_instances``)
+    on_transition: Optional[Callable[["InstanceHealth"], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- transitions ---------------------------------------------------------
 
@@ -112,6 +118,8 @@ class InstanceHealth:
         self.state = to
         self.history.append((frm, to, cause))
         obs_counters.inc("resilience.transitions", frm=frm.value, to=to.value)
+        if self.on_transition is not None:
+            self.on_transition(self)
 
     # -- watchdog signals -----------------------------------------------------
 

@@ -90,6 +90,13 @@ class Supervisor:
         self._admission: Dict[str, AdmissionController] = {}
         self._backends: Dict[str, object] = {}
         self._by_instance: Dict[int, InstanceHealth] = {}
+        #: instance id -> health record, for every record NOT currently
+        #: healthy.  Shared with the access-control monitor
+        #: (``Monitor.health_index``) so its per-command resilience check
+        #: is one dict-membership test in the all-green steady state; the
+        #: full :meth:`gate` walk runs only for instances listed here.
+        #: Kept in sync by the ``InstanceHealth.on_transition`` observer.
+        self.unhealthy_instances: Dict[int, InstanceHealth] = {}
 
     # -- wiring ------------------------------------------------------------------
 
@@ -105,6 +112,7 @@ class Supervisor:
         )
         self._records[vm.uuid] = record
         self._by_instance[backend.instance_id] = record
+        record.on_transition = self._reindex_health
         self._breakers[vm.uuid] = CircuitBreaker(
             name=vm.name,
             rng=self._rng.fork(f"breaker-{vm.uuid}"),
@@ -115,7 +123,29 @@ class Supervisor:
             vm.uuid, admission or self.default_admission
         )
         self._backends[vm.uuid] = backend
+        # Cache the per-guest objects on the back-end: the admit and
+        # observe hooks run once per frame, and resolving four dicts by
+        # uuid there is measurable at bench rates.  The admission budgets
+        # are per-instance constants (AdmissionConfig never mutates after
+        # attach), so their values are flattened too.
+        backend._sup_record = record
+        backend._sup_breaker = self._breakers[vm.uuid]
+        admission = self._admission[vm.uuid]
+        backend._sup_admission = admission
+        backend._sup_alpha = admission.config.ewma_alpha
+        backend._sup_deadline_us = self.command_deadline_us
+        backend._sup_admit_fast = (
+            admission.config.max_depth > 0
+            and admission.config.deadline_us >= 0.0
+        )
         backend.attach_supervision(self)
+
+    def _reindex_health(self, record: InstanceHealth) -> None:
+        """Transition observer: keep :attr:`unhealthy_instances` exact."""
+        if record.state is HealthState.HEALTHY:
+            self.unhealthy_instances.pop(record.instance_id, None)
+        else:
+            self.unhealthy_instances[record.instance_id] = record
 
     def record_for(self, vm_uuid: str) -> InstanceHealth:
         return self._records[vm_uuid]
@@ -130,13 +160,55 @@ class Supervisor:
 
     def admit(self, backend, wires: List[bytes]) -> List[Optional[bytes]]:
         """Verdicts for one ring notify's frames (None = admitted)."""
-        vm_uuid = backend.frontend.guest.uuid
-        record = self._records.get(vm_uuid)
+        record = backend._sup_record
         if record is None:
-            return [None] * len(wires)
-        return self._admission[vm_uuid].verdicts(
-            wires, record, self._breakers[vm_uuid]
-        )
+            vm_uuid = backend.frontend.guest.uuid
+            record = self._records.get(vm_uuid)
+            if record is None:
+                return [None] * len(wires)
+            return self._admission[vm_uuid].verdicts(
+                wires, record, self._breakers[vm_uuid]
+            )
+        admission = backend._sup_admission
+        n = len(wires)
+        if (
+            record.state is HealthState.HEALTHY
+            and backend._sup_breaker.state is BreakerState.CLOSED
+            and n <= admission.config.max_depth
+            and (n - 1) * admission.service_estimate_us
+            <= admission.config.deadline_us
+        ):
+            # All-green fast path.  Under these conditions the verdict
+            # loop admits every frame: the health gates pass, the backlog
+            # never reaches the depth or deadline bound (frame k waits
+            # k x estimate, maximal at k = n-1), and a closed breaker's
+            # allow() returns True with zero side effects.  Bulk-admit
+            # with identical state effects and skip the per-frame walk.
+            if n:
+                admission.fast_admit(n)
+            return [None] * n
+        return admission.verdicts(wires, record, backend._sup_breaker)
+
+    def admit_one(self, backend, wire: bytes) -> Optional[bytes]:
+        """Single-frame :meth:`admit` (the ring's unbatched path).
+
+        A lone frame has backlog 0, so the depth and deadline bounds are
+        trivially satisfied; all-green reduces to the health and breaker
+        checks.
+        """
+        record = backend._sup_record
+        if (
+            backend._sup_admit_fast
+            and record is not None
+            and record.state is HealthState.HEALTHY
+            and backend._sup_breaker.state is BreakerState.CLOSED
+        ):
+            admission = backend._sup_admission
+            admission.admitted += 1
+            admission._admitted_counter.inc()
+            return None
+        (verdict,) = self.admit(backend, [wire])
+        return verdict
 
     # -- monitor-side: the authoritative ordinal gate ------------------------------
 
@@ -147,6 +219,8 @@ class Supervisor:
         if record is None:
             return None
         state = record.state
+        if state is HealthState.HEALTHY:
+            return None
         if state is HealthState.FAILED:
             return f"instance {instance_id} is failed: all ordinals refused"
         if state is HealthState.QUARANTINED:
@@ -176,12 +250,36 @@ class Supervisor:
         still proves the instance alive).  Health is stricter: only
         ``TPM_SUCCESS`` inside the deadline feeds the recovery streak.
         """
-        vm_uuid = backend.frontend.guest.uuid
-        record = self._records.get(vm_uuid)
+        record = backend._sup_record
         if record is None:
+            vm_uuid = backend.frontend.guest.uuid
+            record = self._records.get(vm_uuid)
+            if record is None:
+                return
+            admission = self._admission[vm_uuid]
+            breaker = self._breakers[vm_uuid]
+        else:
+            admission = backend._sup_admission
+            breaker = backend._sup_breaker
+        # The EWMA always sees the observation, fast path or slow.
+        admission.observe_service_us(elapsed_us)
+        if (
+            record.state is HealthState.HEALTHY
+            and breaker.state is BreakerState.CLOSED
+            and elapsed_us <= self.command_deadline_us
+            and len(response) >= 10
+            and response[6:10] == b"\x00\x00\x00\x00"
+        ):
+            # All-green fast path: a TPM_SUCCESS inside the deadline on a
+            # healthy record with a closed breaker.  record_success() on a
+            # closed breaker and note_success() on a healthy record reduce
+            # to exactly these three assignments (no transition is
+            # reachable), so the streaks stay byte-identical to the slow
+            # path.
+            breaker.consecutive_failures = 0
+            record.consecutive_failures = 0
+            record.consecutive_successes += 1
             return
-        self._admission[vm_uuid].observe_service_us(elapsed_us)
-        breaker = self._breakers[vm_uuid]
         rc = _return_code(response)
         if rc == TPM_FAIL:
             record.note_failure("tpm-fail")
@@ -214,6 +312,8 @@ class Supervisor:
             return
         if self._by_instance.get(record.instance_id) is record:
             del self._by_instance[record.instance_id]
+        if self.unhealthy_instances.pop(record.instance_id, None) is not None:
+            self.unhealthy_instances[new_instance_id] = record
         record.instance_id = new_instance_id
         self._by_instance[new_instance_id] = record
 

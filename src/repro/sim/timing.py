@@ -221,8 +221,26 @@ def get_context() -> TimingContext:
 
 
 def charge(op: str, units: float = 1.0) -> float:
-    """Charge an operation against the ambient context (main entry point)."""
-    return _current_context.charge(op, units)
+    """Charge an operation against the ambient context (main entry point).
+
+    Inlines :meth:`TimingContext.charge` (rather than delegating) to save
+    a call frame: this is the single hottest function in the simulator.
+    """
+    ctx = _current_context
+    try:
+        fixed, per_unit = ctx.model._scaled[op]
+    except KeyError:
+        raise SimulationError(f"unknown cost-model operation {op!r}") from None
+    if units < 0:
+        raise SimulationError(f"negative units {units} for {op!r}")
+    cost = fixed + per_unit * units
+    if cost < 0:
+        raise SimulationError(f"negative cost {cost} for {op!r}")
+    ctx.clock._now_us += cost
+    if ctx._ledgers:
+        for ledger in ctx._ledgers:
+            ledger.record(op, cost)
+    return cost
 
 
 def current_ledger() -> Optional[CostLedger]:

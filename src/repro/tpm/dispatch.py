@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_SPAN
 from repro.sim.timing import charge
 from repro.tpm import marshal
 from repro.tpm.constants import (
@@ -47,7 +48,7 @@ def handler(ordinal: int) -> Callable[[Handler], Handler]:
     return register
 
 
-@dataclass
+@dataclass(slots=True)
 class CommandContext:
     """Everything a command handler needs."""
 
@@ -113,8 +114,12 @@ class TpmExecutor:
         ``parsed`` and the frame is not re-parsed here.
         """
         charge("tpm.cmd.base")
+        tracer = obs_trace._current_tracer
         if parsed is None:
-            with obs_trace.span("parse"):
+            span = (
+                NULL_SPAN if tracer is None else tracer.start_span("parse")
+            )
+            with span:
                 try:
                     parsed = marshal.parse_command(wire)
                 except (MarshalError, TpmError) as exc:
@@ -122,7 +127,11 @@ class TpmExecutor:
                     code = exc.code if isinstance(exc, TpmError) else TPM_FAIL
                     return marshal.build_response(code)
         self.commands_executed += 1
-        with obs_trace.span("tpm.execute", ordinal=ordinal_name(parsed.ordinal)):
+        if tracer is None:
+            return self._run(parsed, locality)
+        with tracer.start_span(
+            "tpm.execute", {"ordinal": ordinal_name(parsed.ordinal)}
+        ):
             return self._run(parsed, locality)
 
     def _run(self, parsed: ParsedCommand, locality: int) -> bytes:
@@ -133,13 +142,20 @@ class TpmExecutor:
         if not self.state.flags.started and parsed.ordinal != TPM_ORD_Startup:
             self.failures += 1
             return marshal.build_response(TPM_INVALID_POSTINIT)
+        # The 1H1 param digest is consumed only by verify_auth(), which is
+        # unreachable without an auth trailer — so unauthorized commands
+        # (the fast-path bulk) skip the hash entirely.  The digest helper
+        # charges nothing, so skipping it is virtual-time-neutral.
         ctx = CommandContext(
             state=self.state,
             ordinal=parsed.ordinal,
             reader=ByteReader(parsed.params),
             auth=parsed.auth,
             locality=locality,
-            _param_digest=marshal.command_param_digest(parsed.ordinal, parsed.params),
+            _param_digest=(
+                marshal.command_param_digest(parsed.ordinal, parsed.params)
+                if parsed.auth is not None else b""
+            ),
         )
         try:
             out_params = fn(ctx)

@@ -18,8 +18,14 @@ backends keep the exact original behaviour.
 
 from __future__ import annotations
 
+import functools
+
+from repro.faults import injector as _injector
 from repro.faults import with_retry
 from repro.obs import trace as obs_trace
+from repro.resilience.breaker import BreakerState
+from repro.resilience.health import HealthState
+from repro.sim import timing as _timing
 from repro.sim.timing import get_context
 from repro.util.errors import IdentityError, RetryExhausted, VtpmError
 from repro.vtpm.frontend import VtpmFrontend
@@ -32,6 +38,15 @@ class VtpmBackend:
 
     #: the owning :class:`~repro.resilience.supervisor.Supervisor`, if any
     supervision = None
+    #: per-guest supervision objects, cached here by ``Supervisor.attach``
+    #: so the per-command hooks skip the uuid dict lookups
+    _sup_record = None
+    _sup_breaker = None
+    _sup_admission = None
+    #: flattened per-instance admission constants (see Supervisor.attach)
+    _sup_alpha = 0.0
+    _sup_deadline_us = 0.0
+    _sup_admit_fast = False
 
     def __init__(
         self,
@@ -67,7 +82,8 @@ class VtpmBackend:
         control and report every forwarded outcome back to it."""
         self.supervision = supervisor
         self.frontend.ring.set_admission(
-            lambda wires: supervisor.admit(self, wires)
+            functools.partial(supervisor.admit, self),
+            functools.partial(supervisor.admit_one, self),
         )
 
     # -- the forwarding path --------------------------------------------------------
@@ -87,31 +103,81 @@ class VtpmBackend:
         lockstep.  A fault that outlives the budget degrades into a
         ``TPM_FAIL`` frame, never a dead ring.
         """
+        tracer = obs_trace._current_tracer
+        if tracer is None:
+            return self._forward_inner(wire)
+        with tracer.start_span(
+            "backend.forward", {"instance": self.instance_id}
+        ):
+            return self._forward_inner(wire)
+
+    def _forward_inner(self, wire: bytes) -> bytes:
         supervisor = self.supervision
-        with obs_trace.span("backend.forward", instance=self.instance_id):
-            # The latency clock read exists only for the supervisor's
-            # deadline watchdog; the unsupervised hot path skips it.
-            start_us = (
-                get_context().clock.now_us if supervisor is not None else 0.0
+        # The latency clock read exists only for the supervisor's
+        # deadline watchdog; the unsupervised hot path skips it.
+        start_us = (
+            _timing._current_context.clock._now_us
+            if supervisor is not None else 0.0
+        )
+        if _injector._current_injector is None:
+            # Fault-free fast path: handle_command can only raise an
+            # injected fault through the ambient injector, so with no
+            # injector installed the retry envelope (clock read, loop
+            # frame, backoff bookkeeping) is pure overhead.
+            response = self.manager.handle_command(
+                self.front_domid, self.instance_id, wire,
+                self.frontend.locality,
             )
-            try:
-                response = with_retry(
-                    self.manager.handle_command,
-                    self.front_domid, self.instance_id, wire,
-                    self.frontend.locality,
-                    site="vtpm.backend.forward",
-                    jitter_token=self.instance_id,
-                )
-            except RetryExhausted as exc:
-                if supervisor is not None:
-                    supervisor.on_exhausted(self, exc)
-                return self.manager.fault_response(self.instance_id, exc)
             if supervisor is not None:
-                supervisor.observe_response(
-                    self, wire, response,
-                    get_context().clock.now_us - start_us,
+                elapsed_us = (
+                    _timing._current_context.clock._now_us - start_us
                 )
+                record = self._sup_record
+                breaker = self._sup_breaker
+                if (
+                    record is not None
+                    and record.state is HealthState.HEALTHY
+                    and breaker.state is BreakerState.CLOSED
+                    and elapsed_us <= self._sup_deadline_us
+                    and len(response) >= 10
+                    and response.startswith(b"\x00\x00\x00\x00", 6)
+                ):
+                    # Inlined all-green observation (see
+                    # Supervisor.observe_response): EWMA update plus the
+                    # exact success-streak assignments the slow path makes
+                    # when everything is healthy.
+                    admission = self._sup_admission
+                    alpha = self._sup_alpha
+                    if alpha > 0.0:
+                        admission.service_estimate_us += alpha * (
+                            elapsed_us - admission.service_estimate_us
+                        )
+                    breaker.consecutive_failures = 0
+                    record.consecutive_failures = 0
+                    record.consecutive_successes += 1
+                else:
+                    supervisor.observe_response(
+                        self, wire, response, elapsed_us
+                    )
             return response
+        try:
+            response = with_retry(
+                self.manager.handle_command,
+                self.front_domid, self.instance_id, wire,
+                self.frontend.locality,
+                site="vtpm.backend.forward",
+                jitter_token=self.instance_id,
+            )
+        except RetryExhausted as exc:
+            if supervisor is not None:
+                supervisor.on_exhausted(self, exc)
+            return self.manager.fault_response(self.instance_id, exc)
+        if supervisor is not None:
+            supervisor.observe_response(
+                self, wire, response,
+                get_context().clock.now_us - start_us,
+            )
+        return response
 
     def _forward_batch(self, wires: list) -> list:
         """Hand a whole ring batch to the manager in one call.
@@ -123,25 +189,33 @@ class VtpmBackend:
         batch-average latency (individual frames are not separately
         clocked inside one notify).
         """
-        supervisor = self.supervision
-        with obs_trace.span(
-            "backend.forward_batch", instance=self.instance_id,
-            frames=len(wires),
+        tracer = obs_trace._current_tracer
+        if tracer is None:
+            return self._forward_batch_inner(wires)
+        with tracer.start_span(
+            "backend.forward_batch",
+            {"instance": self.instance_id, "frames": len(wires)},
         ):
-            start_us = get_context().clock.now_us
-            responses = self.manager.handle_batch(
-                self.front_domid, self.instance_id, wires,
-                locality=self.frontend.locality,
-            )
-            if supervisor is not None and wires:
-                per_frame_us = (
-                    get_context().clock.now_us - start_us
-                ) / len(wires)
-                for wire, response in zip(wires, responses):
-                    supervisor.observe_response(
-                        self, wire, response, per_frame_us
-                    )
-            return responses
+            return self._forward_batch_inner(wires)
+
+    def _forward_batch_inner(self, wires: list) -> list:
+        supervisor = self.supervision
+        start_us = (
+            get_context().clock.now_us if supervisor is not None else 0.0
+        )
+        responses = self.manager.handle_batch(
+            self.front_domid, self.instance_id, wires,
+            locality=self.frontend.locality,
+        )
+        if supervisor is not None and wires:
+            per_frame_us = (
+                get_context().clock.now_us - start_us
+            ) / len(wires)
+            for wire, response in zip(wires, responses):
+                supervisor.observe_response(
+                    self, wire, response, per_frame_us
+                )
+        return responses
 
     # -- re-binding (the attack knob, now fail-closed) -------------------------------
 

@@ -51,8 +51,21 @@ class VtpmFrontend:
                 f"vTPM front-end of {self.guest.name} is not connected"
             )
         self.guest.require_running()
-        with obs_trace.span("frontend.command", domid=self.guest.domid):
+        tracer = obs_trace._current_tracer
+        if tracer is None:
             return self.ring.send_command(wire)
+        if tracer._stack or tracer.keep_root():
+            with tracer.start_span(
+                "frontend.command", {"domid": self.guest.domid}
+            ):
+                return self.ring.send_command(wire)
+        # Sampled-out root: hide the tracer for the whole tree so every
+        # nested guarded site takes its free tracer-is-None path.
+        obs_trace._current_tracer = None
+        try:
+            return self.ring.send_command(wire)
+        finally:
+            obs_trace._current_tracer = tracer
 
     def transport_batch(self, wires: list) -> list:
         """Send several TPM commands in one ring submission (one kick)."""
@@ -61,10 +74,20 @@ class VtpmFrontend:
                 f"vTPM front-end of {self.guest.name} is not connected"
             )
         self.guest.require_running()
-        with obs_trace.span(
-            "frontend.batch", domid=self.guest.domid, frames=len(wires)
-        ):
+        tracer = obs_trace._current_tracer
+        if tracer is None:
             return self.ring.send_batch(wires)
+        if tracer._stack or tracer.keep_root():
+            with tracer.start_span(
+                "frontend.batch",
+                {"domid": self.guest.domid, "frames": len(wires)},
+            ):
+                return self.ring.send_batch(wires)
+        obs_trace._current_tracer = None
+        try:
+            return self.ring.send_batch(wires)
+        finally:
+            obs_trace._current_tracer = tracer
 
     def close(self) -> None:
         self.xen.store.write(self.guest.domid, f"{self.device_path}/state", "6")

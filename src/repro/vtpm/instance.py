@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.crypto.random_source import RandomSource
 from repro.obs import trace as obs_trace
+from repro.sim import timing as _timing
 from repro.sim.timing import get_context
 from repro.tpm import constants as tc
 from repro.tpm.device import TpmDevice
@@ -111,10 +112,16 @@ class VtpmInstance:
         parses every command once); it also lets us skip the state-image
         refresh for ordinals that cannot alter the serialized state.
         """
-        with obs_trace.span("engine", instance=self.instance_id):
+        tracer = obs_trace._current_tracer
+        if tracer is None:
             response = self.device.execute(wire, locality=locality, parsed=parsed)
+        else:
+            with tracer.start_span("engine", {"instance": self.instance_id}):
+                response = self.device.execute(
+                    wire, locality=locality, parsed=parsed
+                )
         self.commands_handled += 1
-        self.last_activity_us = get_context().clock.now_us
+        self.last_activity_us = _timing._current_context.clock.now_us
         if parsed is not None:
             ordinal = parsed.ordinal
         elif len(wire) >= 10:
@@ -122,8 +129,13 @@ class VtpmInstance:
         else:
             ordinal = -1
         if ordinal not in _SERIALIZATION_NEUTRAL:
-            with obs_trace.span("serialize", instance=self.instance_id):
+            if tracer is None:
                 self.sync_to_memory()
+            else:
+                with tracer.start_span(
+                    "serialize", {"instance": self.instance_id}
+                ):
+                    self.sync_to_memory()
         return response
 
     def idle_us(self) -> float:

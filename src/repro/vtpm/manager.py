@@ -16,9 +16,11 @@ from repro.core.config import AccessControlConfig, AccessMode
 from repro.core.identity import IdentityRegistry
 from repro.core.monitor import AccessControlMonitor, BaselineMonitor, Monitor
 from repro.core.protection import MemoryProtector
+from repro.faults import injector as _injector
 from repro.faults import with_retry
 from repro.obs import counters as obs_counters
 from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_SPAN
 from repro.sim.timing import charge
 from repro.tpm import marshal
 from repro.tpm.constants import TPM_AUTHFAIL, TPM_FAIL
@@ -27,6 +29,10 @@ from repro.vtpm.instance import VtpmInstance
 from repro.vtpm.storage import VtpmStorage
 from repro.xen.domain import Domain
 from repro.xen.hypervisor import Xen
+
+_VTPM_BATCHES = obs_counters.counter("vtpm.batches")
+_VTPM_BATCHED_COMMANDS = obs_counters.counter("vtpm.batched_commands")
+_VTPM_FAULT_RESPONSES = obs_counters.counter("vtpm.fault_responses")
 
 
 class VtpmManager:
@@ -158,7 +164,10 @@ class VtpmManager:
         which is exactly what the monitor's binding check validates.
         """
         charge("vtpm.dispatch")
-        with obs_trace.span("manager.dispatch", instance=instance_id):
+        tracer = obs_trace._current_tracer
+        if tracer is None:
+            return self._dispatch_one(caller_domid, instance_id, wire, locality)
+        with tracer.start_span("manager.dispatch", {"instance": instance_id}):
             return self._dispatch_one(caller_domid, instance_id, wire, locality)
 
     def handle_batch(
@@ -179,11 +188,29 @@ class VtpmManager:
         without poisoning the rest of the batch.
         """
         charge("vtpm.dispatch")
-        obs_counters.inc("vtpm.batches")
-        obs_counters.inc("vtpm.batched_commands", len(wires))
+        _VTPM_BATCHES.inc()
+        _VTPM_BATCHED_COMMANDS.add(len(wires))
+        tracer = obs_trace._current_tracer
+        # The injector cannot be (un)installed mid-batch — the driver loop
+        # is synchronous — so one check covers the whole notify.  Without
+        # an injector, _dispatch_one can never raise an injected fault and
+        # the per-wire retry envelope is pure overhead.
+        faultless = _injector._current_injector is None
         responses = []
         for wire in wires:
-            with obs_trace.span("manager.dispatch", instance=instance_id):
+            span = (
+                NULL_SPAN if tracer is None
+                else tracer.start_span("manager.dispatch",
+                                       {"instance": instance_id})
+            )
+            with span:
+                if faultless:
+                    responses.append(
+                        self._dispatch_one(
+                            caller_domid, instance_id, wire, locality
+                        )
+                    )
+                    continue
                 try:
                     responses.append(
                         with_retry(
@@ -227,7 +254,7 @@ class VtpmManager:
         """Graceful degradation: a subsystem failure becomes a ``TPM_FAIL``
         response frame plus an audit event — never a dead manager."""
         self.faults_surfaced += 1
-        obs_counters.inc("vtpm.fault_responses")
+        _VTPM_FAULT_RESPONSES.inc()
         obs_trace.span_event("fault_degraded", instance=instance_id,
                              error=str(exc))
         self.monitor.on_fault(instance_id, exc)

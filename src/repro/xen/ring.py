@@ -24,11 +24,17 @@ import struct
 from typing import Callable, Optional
 
 from repro.faults import FaultKind, fire, note_recovery, note_retry
+from repro.faults import injector as _injector
 from repro.obs import counters as obs_counters
 from repro.obs import trace as obs_trace
 from repro.sim.timing import charge, get_context
 from repro.util.errors import RetryExhausted, RingError
 from repro.xen.memory import PAGE_SIZE, PhysicalMemory
+
+_RING_KICKS = obs_counters.counter("ring.kicks")
+_RING_SHED = obs_counters.counter("ring.shed")
+_RING_BATCHED_FRAMES = obs_counters.counter("ring.batched_frames")
+_RING_KICK_RETRIES = obs_counters.counter("ring.kick_retries")
 
 STATUS_IDLE = 0
 STATUS_COMMAND = 1
@@ -93,6 +99,7 @@ class TpmRing:
         self._backend: Optional[Backend] = None
         self._batch_backend: Optional[BatchBackend] = None
         self._admission: Optional[Admission] = None
+        self._admission_one = None
         self._mapped_frame: Optional[int] = None
         self.commands_carried = 0
         events.bind(self.port, front_domid, self._on_front_event)
@@ -116,7 +123,8 @@ class TpmRing:
         self._batch_backend = batch_backend
         self._events.bind(self.port, self.back_domid, self._on_back_event)
 
-    def set_admission(self, admission: Optional[Admission]) -> None:
+    def set_admission(self, admission: Optional[Admission],
+                      admission_one=None) -> None:
         """Install (or clear) the back-end's admission-control verdict hook.
 
         With a hook installed, every frame read off the page is submitted
@@ -124,8 +132,13 @@ class TpmRing:
         with its pre-built response and never reach the backend.  Shed
         frames still occupy their slot in the response vector, so the
         front-end always receives exactly one response per command.
+
+        ``admission_one``, when given, is the single-frame variant
+        (``wire -> verdict``) used on the unbatched path so one command
+        does not pay the list round-trip of the vector hook.
         """
         self._admission = admission
+        self._admission_one = admission_one
 
     def disconnect_backend(self) -> None:
         if self._mapped_frame is not None:
@@ -134,6 +147,7 @@ class TpmRing:
         self._backend = None
         self._batch_backend = None
         self._admission = None
+        self._admission_one = None
 
     def _on_back_event(self, _port: int) -> None:
         """Back-end interrupt: read command(s), execute, write response(s)."""
@@ -153,12 +167,14 @@ class TpmRing:
         command = self._memory.read(
             self.back_domid, self._mapped_frame, _HEADER.size, length
         )
-        if self._admission is not None:
+        if self._admission_one is not None:
+            verdict = self._admission_one(command)
+        elif self._admission is not None:
             [verdict] = self._admission([command])
         else:
             verdict = None
         if verdict is not None:
-            obs_counters.inc("ring.shed")
+            _RING_SHED.inc()
             response = verdict
         else:
             response = self._backend(command)
@@ -198,7 +214,7 @@ class TpmRing:
         admitted = [c for c, v in zip(commands, verdicts) if v is None]
         shed = count - len(admitted)
         if shed:
-            obs_counters.inc("ring.shed", shed)
+            _RING_SHED.add(shed)
         if self._batch_backend is not None:
             executed = iter(self._batch_backend(admitted) if admitted else [])
         else:
@@ -231,11 +247,14 @@ class TpmRing:
             raise RingError(f"command of {len(command)} bytes exceeds page window")
         if self._backend is None:
             raise RingError("no back-end connected to this vTPM ring")
-        with obs_trace.span("ring.send", bytes=len(command)):
+        tracer = obs_trace._current_tracer
+        if tracer is None:
+            return self._send_command(command)
+        with tracer.start_span("ring.send", {"bytes": len(command)}):
             return self._send_command(command)
 
     def _send_command(self, command: bytes) -> bytes:
-        obs_counters.inc("ring.kicks")
+        _RING_KICKS.inc()
         charge("xen.ring.transfer", len(command))
         self._memory.write(
             self.front_domid,
@@ -267,12 +286,15 @@ class TpmRing:
             return []
         if self._backend is None:
             raise RingError("no back-end connected to this vTPM ring")
-        with obs_trace.span("ring.send_batch", frames=len(commands)):
+        tracer = obs_trace._current_tracer
+        if tracer is None:
+            return self._send_batch(commands)
+        with tracer.start_span("ring.send_batch", {"frames": len(commands)}):
             return self._send_batch(commands)
 
     def _send_batch(self, commands: list) -> list:
-        obs_counters.inc("ring.kicks")
-        obs_counters.inc("ring.batched_frames", len(commands))
+        _RING_KICKS.inc()
+        _RING_BATCHED_FRAMES.add(len(commands))
         submission = _pack_vector(STATUS_BATCH, commands)
         if len(submission) > PAGE_SIZE:
             raise RingError(
@@ -316,6 +338,10 @@ class TpmRing:
         timeout and re-kicks; we model that bounded-retry loop here, so a
         lossy event channel degrades latency rather than correctness.
         """
+        if _injector._current_injector is None:
+            # Fault-free fast path: no kwargs dict, no clock read, no loop.
+            self._events.notify(self.port, self.front_domid)
+            return
         start_us = get_context().clock.now_us
         dropped = 0
         for attempt in range(MAX_KICKS):
@@ -330,7 +356,7 @@ class TpmRing:
                 dropped += 1
                 charge("fault.ring.timeout")
                 note_retry("xen.ring.notify")
-                obs_counters.inc("ring.kick_retries")
+                _RING_KICK_RETRIES.inc()
                 continue
             if event is not None and event.kind is FaultKind.RING_STALL:
                 # The transfer stalls but the kick still lands afterwards.

@@ -139,6 +139,82 @@ class TestBatchedNonInterference:
         assert tracer.sink.validate() > 0
 
 
+class TestSampledNonInterference:
+    """Head sampling keeps tracing an observer at every rate: a 1-in-N
+    traced run stays byte-identical to the untraced run, counters stay
+    exact, and the sampling schedule itself is replay-identical."""
+
+    RATES = (1, 4, 64)
+
+    @pytest.fixture(scope="class")
+    def untraced(self):
+        plan = default_chaos_plan(SEED)
+        return run_chaos_workload(seed=SEED, commands=COMMANDS, plan=plan)
+
+    @pytest.mark.parametrize("rate", RATES)
+    def test_sampled_chaos_is_byte_identical(self, untraced, rate):
+        plan = default_chaos_plan(SEED)
+        tracer = Tracer(InMemorySink(), sample_rate=rate)
+        registry = CounterRegistry()
+        sampled = run_chaos_workload(
+            seed=SEED, commands=COMMANDS, plan=plan,
+            tracer=tracer, counters=registry,
+        )
+        assert sampled.digests == untraced.digests
+        assert sampled.audit_chain_hex == untraced.audit_chain_hex
+        assert sampled.event_signature == untraced.event_signature
+        assert sampled.fault_counts == untraced.fault_counts
+        # Counters are exact regardless of which trees were kept.
+        assert registry.total("faults.injected") == untraced.total_faults
+        # The kept trees are intact and nothing dangles.
+        assert tracer.open_spans == 0
+        assert tracer.roots_emitted + tracer.roots_skipped == (
+            tracer.roots_seen
+        )
+        if rate > 1:
+            assert tracer.roots_skipped > 0
+        tracer.sink.validate()
+
+    @pytest.mark.parametrize("rate", RATES)
+    def test_sampled_cluster_is_byte_identical(self, rate):
+        from repro.cluster import default_cluster_plan, run_cluster_workload
+
+        kwargs = dict(seed=SEED, hosts=3, guests=6, steps=10,
+                      plan=default_cluster_plan(SEED, 3, crash_step=7),
+                      storm=True)
+        untraced = run_cluster_workload(**kwargs)
+        tracer = Tracer(InMemorySink(), sample_rate=rate)
+        registry = CounterRegistry()
+        sampled = run_cluster_workload(
+            tracer=tracer, counters=registry, **kwargs
+        )
+        assert sampled.state_digests == untraced.state_digests
+        assert sampled.response_digests == untraced.response_digests
+        assert sampled.event_signature == untraced.event_signature
+        assert sampled.placement_signature == untraced.placement_signature
+        assert sampled.migration_signature == untraced.migration_signature
+        assert tracer.open_spans == 0
+        tracer.sink.validate()
+
+    @pytest.mark.parametrize("rate", RATES)
+    def test_sampling_schedule_replays_identically(self, rate):
+        """Two same-seed runs keep the very same trees: the schedule is a
+        pure function of the root index, untouched by either timebase."""
+        def schedule():
+            plan = default_chaos_plan(SEED)
+            tracer = Tracer(InMemorySink(), sample_rate=rate)
+            run_chaos_workload(
+                seed=SEED, commands=COMMANDS, plan=plan, tracer=tracer,
+            )
+            return (
+                tracer.roots_seen,
+                tracer.roots_skipped,
+                [(r.name, r.start_virtual_us) for r in tracer.sink.roots],
+            )
+
+        assert schedule() == schedule()
+
+
 class TestJsonlRoundTrip:
     def test_jsonl_stream_validates(self, tmp_path):
         from repro.obs import JsonlSink
@@ -146,7 +222,8 @@ class TestJsonlRoundTrip:
         out = tmp_path / "trace.jsonl"
         fresh_timing_context()
         with out.open("w") as fh:
-            tracer = Tracer(JsonlSink(fh))
+            sink = JsonlSink(fh)
+            tracer = Tracer(sink)
             with tracer_scope(tracer):
                 platform = build_platform(
                     AccessMode.IMPROVED, seed=7, name="jsonl-ni"
@@ -154,6 +231,7 @@ class TestJsonlRoundTrip:
                 guest = platform.add_guest("writer")
                 for i in range(5):
                     guest.frontend.transport(_pcr_read_wire(i))
+            sink.flush()
         trees = load_jsonl(out.read_text())
         assert len(trees) == tracer.roots_emitted
         assert sum(validate_tree_dict(t) for t in trees) == (

@@ -366,6 +366,27 @@ class TestHealthGateAndRing:
         assert _rc(guest.frontend.transport(_pcr_read_wire())) == TPM_SUCCESS
         assert _rc(guest.frontend.transport(_extend_wire())) == TPM_RESOURCES
 
+    def test_unhealthy_index_tracks_transitions(self):
+        # The monitor's per-command fast path is a membership test on
+        # this index; it must mirror the health state machine exactly.
+        platform, guest, supervisor = self._supervised()
+        index = supervisor.unhealthy_instances
+        assert platform.monitor.health_index is index
+        assert guest.instance_id not in index
+        record = supervisor.record_for(guest.domain.uuid)
+        record.transition(HealthState.DEGRADED, "test")
+        assert index[guest.instance_id] is record
+        record.transition(HealthState.HEALTHY, "test")
+        assert guest.instance_id not in index
+
+    def test_unhealthy_index_routes_to_gate_end_to_end(self):
+        platform, guest, supervisor = self._supervised()
+        record = supervisor.record_for(guest.domain.uuid)
+        record.transition(HealthState.QUARANTINED, "wedged")
+        assert supervisor.unhealthy_instances
+        # Denied end-to-end while quarantined (index routes to the gate).
+        assert _rc(guest.frontend.transport(_pcr_read_wire())) != TPM_SUCCESS
+
     def test_unsupervised_platform_unaffected(self):
         platform = build_platform(AccessMode.IMPROVED, seed=8, name="raw")
         guest = platform.add_guest("bob")
@@ -491,6 +512,9 @@ class TestSupervisedRestart:
             ("quarantined", "restarting"),
             ("restarting", "healthy"),
         ]
+        # The monitor's unhealthy-instance index drained with the storm —
+        # no stale entry survives the restart's id change.
+        assert supervisor.unhealthy_instances == {}
 
     def test_flapping_restart_retries_then_recovers(self):
         platform = build_platform(AccessMode.IMPROVED, seed=13, name="flap")
