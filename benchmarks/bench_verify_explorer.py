@@ -1,0 +1,152 @@
+"""Wall-clock guard for the conformance verification sweep.
+
+The ISSUE's acceptance bar is a *time-boxed* exploration: the small
+budget must clear 500 distinct schedules across 3 guests in under a
+minute on CI hardware.  This benchmark records what the sweep actually
+costs, so a regression that makes exploration drastically slower (a
+platform rebuilt per schedule, an accidentally quadratic dedupe) fails
+the perf-smoke gate instead of silently eating the CI budget.
+
+Run as a script to merge a ``"verify"`` section into
+``BENCH_PIPELINE.json`` at the repo root (existing keys preserved)::
+
+    PYTHONPATH=src python benchmarks/bench_verify_explorer.py
+
+or as the CI gate, which fails if the sweep exceeds its committed
+ceiling (2x the recorded wall time, never above the 60 s absolute bar)
+or stops finding the required schedule count::
+
+    PYTHONPATH=src python benchmarks/bench_verify_explorer.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_PIPELINE.json"
+
+#: the acceptance bar the gate enforces regardless of committed numbers
+MIN_SCHEDULES = 500
+ABSOLUTE_CEILING_SECONDS = 60.0
+#: committed ceiling = recorded wall time x this slack factor
+CEILING_FACTOR = 2.0
+
+
+def run_verify_bench(seed: int = 2010) -> dict:
+    """One small-budget sweep, wall-clocked; returns the payload."""
+    from repro.verify import explore
+
+    wall_start = time.perf_counter()
+    report = explore(budget="small", seed=seed)
+    wall = time.perf_counter() - wall_start
+    if not report.ok:
+        raise AssertionError(
+            "verification sweep found violations while benchmarking:\n"
+            + "\n".join(report.summary_lines())
+        )
+    return {
+        "workload": (
+            f"small-budget conformance sweep: {report.guests} guests, "
+            f"credit-base + shuffled + DPOR-swap interleavings, "
+            f"model oracle checked per step"
+        ),
+        "seed": seed,
+        "schedules": report.distinct_schedules,
+        "steps_executed": report.steps_executed,
+        "platforms_built": report.platforms_built,
+        "wall_seconds": round(wall, 3),
+        "schedules_per_sec": round(report.distinct_schedules / wall, 1),
+        "ceiling_seconds": round(
+            min(wall * CEILING_FACTOR, ABSOLUTE_CEILING_SECONDS), 3
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"compare against {RESULT_PATH.name} instead of rewriting it",
+    )
+    parser.add_argument("--output", type=Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    payload = run_verify_bench(seed=args.seed)
+    print(
+        f"{payload['schedules']} schedules ({payload['steps_executed']} steps, "
+        f"{payload['platforms_built']} platforms) in "
+        f"{payload['wall_seconds']:.2f}s "
+        f"({payload['schedules_per_sec']:,.0f} schedules/s)"
+    )
+
+    if args.check:
+        committed = json.loads(args.output.read_text()).get("verify")
+        if committed is None:
+            print("no committed verify numbers in BENCH_PIPELINE.json",
+                  file=sys.stderr)
+            return 1
+        ceiling = min(committed["ceiling_seconds"], ABSOLUTE_CEILING_SECONDS)
+        if payload["wall_seconds"] > ceiling:
+            print(
+                f"PERF REGRESSION: sweep took {payload['wall_seconds']:.2f}s, "
+                f"ceiling is {ceiling:.2f}s",
+                file=sys.stderr,
+            )
+            return 1
+        if payload["schedules"] < MIN_SCHEDULES:
+            print(
+                f"COVERAGE REGRESSION: {payload['schedules']} distinct "
+                f"schedules is below the {MIN_SCHEDULES} acceptance bar",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"verify perf-smoke OK: {payload['wall_seconds']:.2f}s <= "
+            f"{ceiling:.2f}s ceiling, {payload['schedules']} >= "
+            f"{MIN_SCHEDULES} schedules"
+        )
+        return 0
+
+    # Merge, never overwrite: the pipeline benchmark owns the other keys.
+    merged = json.loads(args.output.read_text()) if args.output.exists() else {}
+    merged["verify"] = payload
+    args.output.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"merged verify section into {args.output}")
+    return 0
+
+
+# -- pytest entry points (machine-speed independent) -------------------------
+
+
+def test_tiny_sweep_is_clean_and_counts_distinct_schedules():
+    from repro.verify import Budget, explore
+
+    report = explore(budget=Budget(
+        name="tiny", guests=3, ops_per_guest=4, rounds=2,
+        shuffles_per_round=3, dpor_cap=4, target_schedules=10,
+        platform_batch=40,
+    ), seed=2010)
+    assert report.ok
+    assert report.distinct_schedules >= 5
+    # Batching: a tiny sweep must not rebuild a platform per schedule.
+    assert report.platforms_built == 1
+
+
+def test_committed_verify_numbers_are_fresh():
+    committed = json.loads(RESULT_PATH.read_text())
+    assert "pre_overhaul_ops_per_sec" in committed  # pipeline keys intact
+    verify = committed["verify"]
+    assert verify["schedules"] >= MIN_SCHEDULES
+    assert verify["wall_seconds"] > 0
+    assert verify["ceiling_seconds"] <= ABSOLUTE_CEILING_SECONDS
+    assert verify["schedules_per_sec"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

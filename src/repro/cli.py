@@ -15,6 +15,12 @@ Subcommands:
 * ``trace`` — with no operand, emit a synthetic Poisson workload trace;
   with a workload operand (``pcrread``, ``seal``, …), run it live with
   tracing on and print the span trees plus the counter exposition.
+* ``verify`` — the conformance verification subsystem: explore many
+  distinct guest-command interleavings against the reference-model
+  oracle (``--budget small|deep``), shrink any violation to a minimal
+  replayable JSON repro, and replay repros (``--replay FILE``).  The
+  ``--inject-bug cache-epoch`` self-check plants a known authz bug and
+  succeeds only if the explorer catches and shrinks it.
 * ``report`` — run the full evaluation and print a markdown report.
 
 ``chaos`` and ``experiment`` accept ``--trace PATH`` to stream every
@@ -148,9 +154,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             report = run_chaos_workload(
                 seed=args.seed, commands=args.commands, plan=plan,
                 tracer=tracer, counters=registry,
+                conformance=args.conformance,
             )
             for line in report.summary_lines():
                 print(line)
+            if args.conformance:
+                print(f"conformance: {report.conformance_checks} decisions "
+                      "oracle-checked, 0 mismatches")
             _print_trace_summary(args.trace, tracer, registry)
             return 0
         result = run_chaos_demo(
@@ -189,9 +199,13 @@ def _cmd_chaos_supervised(args: argparse.Namespace) -> int:
             report = run_supervised_chaos(
                 seed=args.seed, commands=commands, plan=plan,
                 tracer=tracer, counters=registry,
+                conformance=args.conformance,
             )
             for line in report.summary_lines():
                 print(line)
+            if args.conformance:
+                print(f"conformance: {report.conformance_checks} decisions "
+                      "oracle-checked, 0 mismatches")
             _print_trace_summary(args.trace, tracer, registry)
             return 0
         result = run_supervised_chaos_demo(
@@ -232,9 +246,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 seed=args.seed, hosts=args.hosts, guests=args.guests,
                 steps=args.steps, plan=plan, storm=True,
                 tracer=tracer, counters=registry,
+                conformance=args.conformance,
             )
             for line in report.summary_lines():
                 print(line)
+            if args.conformance:
+                print(f"conformance: {report.conformance_checks} decisions "
+                      "oracle-checked, 0 mismatches")
             _print_trace_summary(args.trace, tracer, registry)
             return 0
         result = run_cluster_demo(
@@ -528,6 +546,75 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Conformance verification: explorer sweep, self-check, or replay."""
+    import dataclasses
+
+    from repro.core import monitor as monitor_mod
+    from repro.verify import (
+        BUDGETS,
+        explore,
+        load_repro,
+        replay_repro,
+        save_repro,
+        shrink_failure,
+    )
+
+    if args.replay is not None:
+        repro = load_repro(args.replay)
+        print(f"replaying {args.replay}: {len(repro.steps)} steps, "
+              f"seed {repro.seed}, {repro.guests} guests"
+              + (f", injected bug {repro.inject_bug!r}"
+                 if repro.inject_bug else ""))
+        violation = replay_repro(repro)
+        if violation is not None:
+            print("violation reproduces:")
+            print(f"  {violation.describe()}")
+            return 1
+        print("replay clean: the recorded violation no longer reproduces")
+        return 0
+
+    spec = BUDGETS[args.budget]
+    if args.target is not None:
+        spec = dataclasses.replace(spec, target_schedules=args.target)
+    inject = args.inject_bug is not None
+    if inject:
+        monitor_mod.INJECT_STALE_POLICY_EPOCH = True
+    try:
+        report = explore(spec, seed=args.seed, progress=None)
+        for line in report.summary_lines():
+            print(line)
+        if inject:
+            # Self-check mode: the sweep MUST catch the planted bug and
+            # shrink it to a small replayable repro.
+            if not report.failures:
+                print(f"FAIL: injected bug {args.inject_bug!r} was NOT "
+                      "caught by the explorer")
+                return 1
+            repro = shrink_failure(report.failures[0])
+            save_repro(args.output, repro)
+            print(f"injected bug caught and shrunk to {len(repro.steps)} "
+                  f"steps -> {args.output}")
+            print(f"  {repro.violation.describe()}")
+            print(f"  replay: python -m repro verify --replay {args.output}")
+            if len(repro.steps) > 10:
+                print("FAIL: shrunk repro exceeds 10 steps")
+                return 1
+            return 0
+    finally:
+        if inject:
+            monitor_mod.INJECT_STALE_POLICY_EPOCH = False
+
+    if report.failures:
+        repro = shrink_failure(report.failures[0])
+        save_repro(args.output, repro)
+        print(f"counterexample shrunk to {len(repro.steps)} steps "
+              f"-> {args.output}")
+        print(f"  replay: python -m repro verify --replay {args.output}")
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     _register_experiments()
     print("# vTPM access-control reproduction — evaluation report\n")
@@ -568,6 +655,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--trace", metavar="PATH", default=None,
                          help="write span trees of the chaotic run as JSONL "
                               "(- for stdout)")
+    p_chaos.add_argument("--conformance", action="store_true",
+                         help="piggyback the reference-model oracle on every "
+                              "authz decision (requires --single)")
     p_chaos.add_argument("--trace-sample", metavar="N", type=int, default=1,
                          help="record 1-in-N root span trees (deterministic "
                               "head sampling; counters stay exact)")
@@ -586,6 +676,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--trace", metavar="PATH", default=None,
                            help="write span trees of the chaotic run as JSONL "
                                 "(- for stdout)")
+    p_cluster.add_argument("--conformance", action="store_true",
+                           help="piggyback the reference-model oracle on "
+                                "every host's authz decisions (requires "
+                                "--single)")
     p_cluster.add_argument("--trace-sample", metavar="N", type=int, default=1,
                            help="record 1-in-N root span trees (deterministic "
                                 "head sampling; counters stay exact)")
@@ -679,6 +773,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_health.add_argument("--no-faults", dest="faults", action="store_false",
                           help="fault-free control run (everything healthy)")
     p_health.set_defaults(fn=cmd_health)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="conformance verification: schedule explorer vs the "
+             "reference-model oracle",
+    )
+    p_verify.add_argument("--budget", choices=["small", "deep"],
+                          default="small",
+                          help="exploration depth: small is the seeded CI "
+                               "sweep (<60s), deep is the nightly sweep")
+    p_verify.add_argument("--seed", type=int, default=2010)
+    p_verify.add_argument("--target", type=int, default=None,
+                          help="override the budget's distinct-schedule "
+                               "target (smoke tests)")
+    p_verify.add_argument("--output", metavar="PATH",
+                          default="verify-repro.json",
+                          help="where to write the shrunk repro JSON on "
+                               "failure")
+    p_verify.add_argument("--replay", metavar="FILE", default=None,
+                          help="replay a repro artifact; exits 1 if the "
+                               "violation reproduces")
+    p_verify.add_argument("--inject-bug", choices=["cache-epoch"],
+                          default=None,
+                          help="self-check: plant a stale-cache-epoch authz "
+                               "bug behind the test-only hook and require "
+                               "the explorer to catch and shrink it")
+    p_verify.set_defaults(fn=cmd_verify)
 
     p_report = sub.add_parser("report", help="full evaluation as markdown")
     p_report.add_argument("--quick", action="store_true")

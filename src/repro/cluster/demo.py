@@ -114,6 +114,9 @@ class ClusterReport:
     routed: int
     degraded: int
     elapsed_virtual_us: float
+    #: decisions double-checked by the piggyback conformance oracle
+    #: (0 unless the run was started with ``conformance=True``)
+    conformance_checks: int = 0
 
     def summary_lines(self) -> List[str]:
         lines = [
@@ -188,6 +191,7 @@ def run_cluster_workload(
     mode: AccessMode = AccessMode.IMPROVED,
     tracer: Optional[obs_trace.Tracer] = None,
     counters: Optional[obs_counters.CounterRegistry] = None,
+    conformance: bool = False,
 ) -> ClusterReport:
     """One full fleet run; ``plan=None`` means the fault-free control.
 
@@ -195,6 +199,10 @@ def run_cluster_workload(
     guest name)* alone — independent of host count, placement, and every
     other guest — so the same scripts replay against any fleet shape and
     the per-guest digests are directly comparable across shapes.
+
+    ``conformance=True`` piggybacks the charge-free reference-model
+    oracle (:mod:`repro.verify.oracle`) on every host's monitor and
+    raises if any authorization decision disagrees with it.
     """
     fresh_timing_context()
     with contextlib.ExitStack() as stack:
@@ -203,7 +211,7 @@ def run_cluster_workload(
         if counters is not None:
             stack.enter_context(obs_counters.registry_scope(counters))
         return _run_cluster_workload(
-            seed, hosts, guests, steps, plan, storm, mode
+            seed, hosts, guests, steps, plan, storm, mode, conformance
         )
 
 
@@ -215,12 +223,21 @@ def _run_cluster_workload(
     plan: Optional[FaultPlan],
     storm: bool,
     mode: AccessMode,
+    conformance: bool = False,
 ) -> ClusterReport:
     # Capacity covers a whole fleet's worth of guests per host, so the
     # one-host control run and mid-storm transients always fit.
     fleet = build_fleet(
         mode=mode, num_hosts=hosts, seed=seed, capacity=max(guests, 4),
     )
+    oracles = []
+    if conformance:
+        from repro.verify.oracle import attach_oracle
+
+        oracles = [
+            attach_oracle(fleet.hosts[host_id].platform)
+            for host_id in sorted(fleet.hosts)
+        ]
     guest_names = [f"g{index:02d}" for index in range(guests)]
     placement_failures: List[str] = []
     for name in guest_names:
@@ -280,6 +297,12 @@ def _run_cluster_workload(
             name: _state_digest(fleet.instance_for(name)) for name in placed
         }
 
+    conformance_checks = 0
+    if oracles:
+        from repro.verify.oracle import settle_oracles
+
+        conformance_checks = settle_oracles(oracles)
+
     moved = sum(
         1 for r in fleet.migrator.trail if r.outcome == "moved"
     )
@@ -316,6 +339,7 @@ def _run_cluster_workload(
         routed=fleet.router.routed,
         degraded=fleet.router.degraded,
         elapsed_virtual_us=get_context().clock.now_us - start_us,
+        conformance_checks=conformance_checks,
     )
 
 

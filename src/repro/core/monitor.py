@@ -137,6 +137,14 @@ class BaselineMonitor(Monitor):
         )
 
 
+#: TEST-ONLY fault-injection hook for the verification subsystem.  When
+#: true, the decision cache's composite epoch ignores policy-version
+#: bumps, so a cached *allow* survives a revocation — exactly the class
+#: of bug the conformance explorer exists to catch.  Never set outside
+#: ``repro verify --inject-bug`` self-checks and tests.
+INJECT_STALE_POLICY_EPOCH = False
+
+
 class AccessControlMonitor(Monitor):
     """The paper's reference monitor."""
 
@@ -269,6 +277,8 @@ class AccessControlMonitor(Monitor):
         cache_key: Optional[Tuple] = None
         if config.authz_cache:
             epoch = (self._epoch, self.policy.version, self.identities.version)
+            if INJECT_STALE_POLICY_EPOCH:  # test-only, see module docstring
+                epoch = (epoch[0], self._cache_epoch[1], epoch[2])
             if epoch != self._cache_epoch:
                 self._cache.clear()
                 self._cache_epoch = epoch

@@ -109,6 +109,9 @@ class ChaosReport:
     #: hex chain head of platform A's audit log — the tracing
     #: non-interference oracle compares this byte-for-byte
     audit_chain_hex: str = ""
+    #: decisions double-checked by the piggyback conformance oracle
+    #: (0 unless the run was started with ``conformance=True``)
+    conformance_checks: int = 0
 
     def summary_lines(self) -> list[str]:
         lines = [
@@ -162,6 +165,7 @@ def run_chaos_workload(
     mode: AccessMode = AccessMode.IMPROVED,
     tracer: Optional[obs_trace.Tracer] = None,
     counters: Optional[obs_counters.CounterRegistry] = None,
+    conformance: bool = False,
 ) -> ChaosReport:
     """One full chaos run; ``plan=None`` means the fault-free control run.
 
@@ -174,6 +178,10 @@ def run_chaos_workload(
     *after* the timing-context reset (a registry binds to the context it
     first records under), and the non-interference suite asserts they
     change no digest and no audit chain byte.
+
+    ``conformance=True`` piggybacks the charge-free reference-model
+    oracle (:mod:`repro.verify.oracle`) on every authorization decision
+    and raises if the pipeline ever disagrees with it.
     """
     fresh_timing_context()
     with contextlib.ExitStack() as stack:
@@ -181,7 +189,7 @@ def run_chaos_workload(
             stack.enter_context(obs_trace.tracer_scope(tracer))
         if counters is not None:
             stack.enter_context(obs_counters.registry_scope(counters))
-        return _run_chaos_workload(seed, commands, plan, mode)
+        return _run_chaos_workload(seed, commands, plan, mode, conformance)
 
 
 def _run_chaos_workload(
@@ -189,9 +197,15 @@ def _run_chaos_workload(
     commands: int,
     plan: Optional[FaultPlan],
     mode: AccessMode,
+    conformance: bool = False,
 ) -> ChaosReport:
     platform_a = build_platform(mode, seed=seed, name="chaos-a")
     platform_b = build_platform(mode, seed=seed + 1, name="chaos-b")
+    oracles = []
+    if conformance:
+        from repro.verify.oracle import attach_oracle
+
+        oracles = [attach_oracle(platform_a), attach_oracle(platform_b)]
 
     # -- setup (outside the injector's reach) --------------------------------------
     anchor = platform_a.add_guest("anchor")
@@ -281,6 +295,12 @@ def _run_chaos_workload(
             ),
         }
 
+    conformance_checks = 0
+    if oracles:
+        from repro.verify.oracle import settle_oracles
+
+        conformance_checks = settle_oracles(oracles)
+
     recovery = metrics.samples("fault.recovery")
     return ChaosReport(
         seed=seed,
@@ -302,6 +322,7 @@ def _run_chaos_workload(
         mean_recovery_us=(sum(recovery) / len(recovery)) if recovery else 0.0,
         elapsed_virtual_us=get_context().clock.now_us - start_us,
         audit_chain_hex=platform_a.audit.chain_head().hex(),
+        conformance_checks=conformance_checks,
     )
 
 
@@ -420,6 +441,8 @@ class SupervisedChaosReport:
     settled: bool
     elapsed_virtual_us: float
     audit_chain_hex: str = ""
+    #: decisions double-checked by the piggyback conformance oracle
+    conformance_checks: int = 0
 
     def summary_lines(self) -> list[str]:
         lines = [
@@ -461,6 +484,7 @@ def run_supervised_chaos(
     mode: AccessMode = AccessMode.IMPROVED,
     tracer: Optional[obs_trace.Tracer] = None,
     counters: Optional[obs_counters.CounterRegistry] = None,
+    conformance: bool = False,
 ) -> SupervisedChaosReport:
     """One supervised chaos run; ``plan=None`` is the fault-free control."""
     fresh_timing_context()
@@ -469,7 +493,7 @@ def run_supervised_chaos(
             stack.enter_context(obs_trace.tracer_scope(tracer))
         if counters is not None:
             stack.enter_context(obs_counters.registry_scope(counters))
-        return _run_supervised_chaos(seed, commands, plan, mode)
+        return _run_supervised_chaos(seed, commands, plan, mode, conformance)
 
 
 def _run_supervised_chaos(
@@ -477,10 +501,16 @@ def _run_supervised_chaos(
     commands: int,
     plan: Optional[FaultPlan],
     mode: AccessMode,
+    conformance: bool = False,
 ) -> SupervisedChaosReport:
     from repro.resilience import AdmissionConfig
 
     platform = build_platform(mode, seed=seed, name="supervised-chaos")
+    oracles = []
+    if conformance:
+        from repro.verify.oracle import attach_oracle
+
+        oracles = [attach_oracle(platform)]
 
     # -- setup (outside the injector's reach) --------------------------------------
     anchor = platform.add_guest("anchor")
@@ -569,6 +599,12 @@ def _run_supervised_chaos(
             )
         }
 
+    conformance_checks = 0
+    if oracles:
+        from repro.verify.oracle import settle_oracles
+
+        conformance_checks = settle_oracles(oracles)
+
     status = {entry["guest"]: entry for entry in supervisor.status()}
     return SupervisedChaosReport(
         seed=seed,
@@ -592,6 +628,7 @@ def _run_supervised_chaos(
         settled=supervisor.settled(),
         elapsed_virtual_us=get_context().clock.now_us - start_us,
         audit_chain_hex=platform.audit.chain_head().hex(),
+        conformance_checks=conformance_checks,
     )
 
 

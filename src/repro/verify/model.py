@@ -1,0 +1,214 @@
+"""Executable reference model of the authz-relevant platform state.
+
+The conformance oracle: a deliberately small, independent re-statement of
+what the paper's access-control pipeline is *supposed* to decide.  The
+model tracks, per guest, only the facts that can change an authorization
+outcome — measured-identity registration, the policy grants on the
+guest's current instance, whether the instance binding still matches,
+and a coarse health mode — and predicts for every command the set of
+return codes the real monitor + cache + supervisor pipeline is allowed
+to produce.
+
+Independence discipline: during a run the model never calls into the
+monitor, the policy engine or the identity registry — predictions come
+purely from events the driver reported (``on_*``) plus the command about
+to be issued.  The single sanctioned coupling is
+:meth:`ReferenceModel.sync_guest` at schedule boundaries, which seeds
+the model from live platform state so batched explorer runs need not
+rebuild a platform per schedule.
+
+The model also carries a shadow PCR bank per guest so multi-step runs
+check *state* conformance, not just per-command verdicts: an extend the
+pipeline reports as successful must land in the real PCR exactly as
+``SHA1(old || measurement)`` predicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.policy import OWNER_CLASSES, CommandClass
+from repro.tpm.constants import (
+    TPM_AUTHFAIL,
+    TPM_FAIL,
+    TPM_RESOURCES,
+    TPM_SUCCESS,
+)
+
+#: return codes a degraded/turbulent instance may legitimately produce:
+#: success (it recovered), authz deny (gate), shed (admission), or the
+#: graceful fault surface.  Anything else is a conformance violation
+#: even under chaos.
+TURBULENT_CODES: FrozenSet[int] = frozenset(
+    {TPM_SUCCESS, TPM_AUTHFAIL, TPM_RESOURCES, TPM_FAIL}
+)
+
+ALLOW_CODES: FrozenSet[int] = frozenset({TPM_SUCCESS})
+DENY_CODES: FrozenSet[int] = frozenset({TPM_AUTHFAIL})
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """What the model expects the pipeline to do with one command."""
+
+    verdict: str  # "allow" | "deny" | "degrade"
+    accept: FrozenSet[int]
+    reason: str
+
+    @property
+    def strict(self) -> bool:
+        """Strict predictions also pin the monitor's denial counter."""
+        return self.verdict in ("allow", "deny")
+
+
+@dataclass
+class GuestModel:
+    """Authz-relevant state of one guest, as the model believes it."""
+
+    name: str
+    #: is the launch measurement currently registered?
+    registered: bool = True
+    #: command classes granted to this guest's identity on its instance
+    grants: Set[CommandClass] = field(default_factory=lambda: set(OWNER_CLASSES))
+    #: True while the supervisor may legitimately answer with shed/degrade
+    #: codes (wedge observed, not yet drained back to healthy)
+    turbulent: bool = False
+    #: shadow PCR bank: index -> 20-byte value (only touched indices)
+    pcrs: Dict[int, bytes] = field(default_factory=dict)
+
+
+class ReferenceModel:
+    """Predicts allow/deny/degrade for commands against N guests."""
+
+    def __init__(self) -> None:
+        self.guests: Dict[str, GuestModel] = {}
+        self.predictions = 0
+
+    # -- seeding (the one sanctioned read of live state) ---------------------
+
+    def sync_guest(
+        self,
+        name: str,
+        registered: bool,
+        grants: Set[CommandClass],
+        pcr_values: Dict[int, bytes],
+        turbulent: bool = False,
+    ) -> GuestModel:
+        """(Re)seed one guest's model state from observed platform state."""
+        guest = GuestModel(
+            name=name,
+            registered=registered,
+            grants=set(grants),
+            turbulent=turbulent,
+            pcrs=dict(pcr_values),
+        )
+        self.guests[name] = guest
+        return guest
+
+    # -- events the driver reports -------------------------------------------
+
+    def on_guest_added(self, name: str) -> None:
+        """A fresh guest: measured at launch, full owner grant."""
+        self.guests[name] = GuestModel(name=name)
+
+    def on_grant(self, name: str, command_class: CommandClass) -> None:
+        self.guests[name].grants.add(command_class)
+
+    def on_revoke(self, name: str, command_class: CommandClass) -> None:
+        self.guests[name].grants.discard(command_class)
+
+    def on_identity_forgotten(self, name: str) -> None:
+        self.guests[name].registered = False
+
+    def on_identity_reregistered(self, name: str) -> None:
+        # Same kernel/name/config => same measurement => binding matches.
+        self.guests[name].registered = True
+
+    def on_manager_restart(self) -> None:
+        """Manager restart semantics, as the pipeline defines them.
+
+        ``restore_instance`` re-registers any forgotten identity and
+        re-creates each instance under a *new* id whose creation hook
+        grants the full owner profile — so revocations deliberately do
+        NOT survive a restart.  The model mirrors that contract; if the
+        pipeline ever changes it, the explorer will say so.
+        """
+        for guest in self.guests.values():
+            guest.registered = True
+            guest.grants = set(OWNER_CLASSES)
+
+    def on_migrated(self, name: str) -> None:
+        """Import instantiates a fresh instance: full owner grant again."""
+        guest = self.guests[name]
+        guest.registered = True
+        guest.grants = set(OWNER_CLASSES)
+
+    def on_wedged(self, name: str) -> None:
+        self.guests[name].turbulent = True
+
+    def on_settled(self, name: str) -> None:
+        """Supervisor drained back to healthy: strictness is restored."""
+        self.guests[name].turbulent = False
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(
+        self, subject: str, target: str, command_class: CommandClass
+    ) -> Prediction:
+        """Predict the outcome of ``subject`` issuing a ``command_class``
+        command at ``target``'s instance (``subject == target`` is the
+        normal own-vTPM path; anything else is a cross-binding attempt)."""
+        self.predictions += 1
+        sub = self.guests[subject]
+        tgt = self.guests[target]
+        if tgt.turbulent:
+            return Prediction(
+                verdict="degrade",
+                accept=TURBULENT_CODES,
+                reason=f"{target} is under supervision turbulence",
+            )
+        if not sub.registered:
+            return Prediction(
+                verdict="deny",
+                accept=DENY_CODES,
+                reason=f"{subject} has no registered measurement",
+            )
+        if subject != target:
+            return Prediction(
+                verdict="deny",
+                accept=DENY_CODES,
+                reason=f"{subject}'s identity does not match the binding "
+                       f"of {target}'s instance",
+            )
+        if command_class not in sub.grants:
+            return Prediction(
+                verdict="deny",
+                accept=DENY_CODES,
+                reason=f"no grant of {command_class.value} to {subject}",
+            )
+        return Prediction(
+            verdict="allow",
+            accept=ALLOW_CODES,
+            reason=f"{subject} measured, bound and granted "
+                   f"{command_class.value}",
+        )
+
+    # -- shadow PCR bank -------------------------------------------------------
+
+    def pcr_value(self, name: str, index: int) -> Optional[bytes]:
+        return self.guests[name].pcrs.get(index)
+
+    def apply_extend(self, name: str, index: int, measurement: bytes) -> bytes:
+        """Mirror a *successful* extend into the shadow bank.
+
+        Callers apply this only when the pipeline actually returned
+        ``TPM_SUCCESS`` — the model predicts outcomes, the pipeline
+        decides them, and the shadow tracks what should now be true.
+        """
+        guest = self.guests[name]
+        old = guest.pcrs.get(index, b"\x00" * 20)
+        new = hashlib.sha1(old + measurement).digest()
+        guest.pcrs[index] = new
+        return new

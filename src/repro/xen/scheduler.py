@@ -55,6 +55,12 @@ class CreditScheduler:
 
     def _refill(self) -> None:
         total_weight = sum(v.weight for v in self._vcpus.values())
+        if total_weight == 0:
+            # Every vCPU was removed between pick_next() calls (or the
+            # refill was requested on an empty run queue): there is
+            # nothing to apportion credits over, and dividing would
+            # crash the scheduler loop with ZeroDivisionError.
+            raise XenError("credit refill with no runnable vCPUs")
         for vcpu in self._vcpus.values():
             vcpu.credits += vcpu.weight / total_weight * len(self._vcpus)
 

@@ -42,6 +42,33 @@ class TestParser:
             ["experiment", "table1", "--trace", "-"]
         ).trace == "-"
 
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.budget == "small"
+        assert args.seed == 2010
+        assert args.target is None
+        assert args.replay is None
+        assert args.inject_bug is None
+
+    def test_verify_options(self):
+        args = build_parser().parse_args(
+            ["verify", "--budget", "deep", "--target", "40",
+             "--inject-bug", "cache-epoch", "--output", "r.json"]
+        )
+        assert args.budget == "deep"
+        assert args.target == 40
+        assert args.inject_bug == "cache-epoch"
+        assert args.output == "r.json"
+
+    def test_chaos_and_cluster_take_conformance_flag(self):
+        assert build_parser().parse_args(
+            ["chaos", "--single", "--conformance"]
+        ).conformance
+        assert build_parser().parse_args(
+            ["cluster", "--single", "--conformance"]
+        ).conformance
+        assert not build_parser().parse_args(["chaos"]).conformance
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -126,3 +153,57 @@ class TestCommands:
         assert trees
         for tree in trees:
             validate_tree_dict(tree)
+
+    def test_verify_small_smoke(self, capsys):
+        # --target caps the sweep so the unit test stays fast; the full
+        # 500+-schedule acceptance run lives in CI.
+        assert main(["verify", "--target", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct schedules explored" in out
+        assert "oracle violations           : 0" in out
+
+    def test_verify_inject_bug_catches_and_shrinks(self, capsys, tmp_path):
+        from repro.core import monitor as monitor_mod
+        from repro.verify import load_repro
+
+        artifact = tmp_path / "repro.json"
+        assert main([
+            "verify", "--inject-bug", "cache-epoch",
+            "--output", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "injected bug caught and shrunk" in out
+        repro = load_repro(str(artifact))
+        assert 0 < len(repro.steps) <= 10
+        assert repro.inject_bug == "cache-epoch"
+        # The hook is always restored, pass or fail.
+        assert monitor_mod.INJECT_STALE_POLICY_EPOCH is False
+
+    def test_verify_replay_reproduces_then_exits_nonzero(
+        self, capsys, tmp_path
+    ):
+        artifact = tmp_path / "repro.json"
+        assert main([
+            "verify", "--inject-bug", "cache-epoch",
+            "--output", str(artifact),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["verify", "--replay", str(artifact)]) == 1
+        assert "violation reproduces" in capsys.readouterr().out
+
+    def test_verify_replay_clean_artifact_exits_zero(self, capsys, tmp_path):
+        import json
+
+        from repro.verify import REPRO_FORMAT
+
+        artifact = tmp_path / "clean.json"
+        artifact.write_text(json.dumps({
+            "format": REPRO_FORMAT, "seed": 2010, "guests": 2,
+            "supervised": False, "inject_bug": None,
+            "steps": [{"guest": 0, "op": "extend", "arg": 1}],
+            "violation": {"kind": "oracle-mismatch", "step_index": 0,
+                          "step": None, "predicted": "", "observed": "",
+                          "detail": ""},
+        }))
+        assert main(["verify", "--replay", str(artifact)]) == 0
+        assert "replay clean" in capsys.readouterr().out

@@ -139,6 +139,21 @@ class TestScheduler:
         with pytest.raises(XenError):
             CreditScheduler().pick_next()
 
+    def test_refill_with_no_runnable_vcpus_rejected(self):
+        # Regression: _refill used to divide by a zero total weight when
+        # every vCPU had been removed; it must fail loudly instead.
+        sched = CreditScheduler()
+        with pytest.raises(XenError, match="no runnable"):
+            sched._refill()
+
+    def test_refill_after_all_vcpus_removed_rejected(self):
+        sched = CreditScheduler()
+        sched.add(1)
+        sched.account(sched.pick_next(), 10_000)
+        sched.remove(1)
+        with pytest.raises(XenError, match="no runnable"):
+            sched._refill()
+
     def test_stats_track_runtime(self):
         sched = CreditScheduler()
         sched.add(1)
