@@ -1,0 +1,345 @@
+"""The static-analysis framework: rule registry, file walker, pragmas.
+
+The paper's access-control argument is a *universal* claim — every code
+path fails closed, every denial is audited, no secret ever reaches a
+log — and the dynamic conformance explorer (:mod:`repro.verify`) can
+only witness the schedules it happens to run.  This package closes the
+gap with a small AST-based analyzer: domain rules written against this
+module walk every file of the ``repro`` package and report violations
+*for all paths, all the time*.
+
+Concepts
+--------
+
+``ModuleSource``
+    One parsed file: package-relative path (``repro/vtpm/hotplug.py``),
+    source text, line list and AST.  Rules never re-read or re-parse.
+
+``Rule``
+    A registered check.  Subclass :class:`Rule`, set ``id``/``title``/
+    ``description``/``example_violation`` and implement
+    :meth:`Rule.check`; decorate with :func:`register`.  The
+    ``example_violation`` is a ``(relpath, source)`` pair that MUST
+    trigger the rule — ``python -m repro analyze --inject-violation ID``
+    feeds it through the real walker as a self-check that the rule can
+    actually fire (the analyzer's ``verify --inject-bug`` analogue).
+
+Suppression pragmas
+    A finding on line *N* is suppressed by a pragma on line *N* or on a
+    comment-only line *N-1*::
+
+        except MarshalError:  # repro: allow[fail-closed] -- probe expects this
+
+    The reason after ``--`` is mandatory: an allow without a reason is
+    itself reported (``malformed-suppression``), and a pragma that
+    suppresses nothing is reported too (``unused-suppression``) so stale
+    allows cannot rot in place.
+
+The analyzer is purely syntactic and intraprocedural by design: it runs
+in well under a second on the whole tree, needs no imports of the code
+under analysis, and its verdicts are independent of host, seed and
+schedule — the same determinism discipline it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: ``# repro: allow[rule-id] -- reason`` (reason mandatory, same line or
+#: the comment-only line directly above the finding)
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>[a-z0-9-]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+#: meta rule ids emitted by the framework itself (never suppressible)
+META_MALFORMED = "malformed-suppression"
+META_UNUSED = "unused-suppression"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # package-relative posix path, e.g. repro/vtpm/hotplug.py
+    line: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: stable across pure line-number drift."""
+        return f"{self.rule}:{self.path}:{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    rule: str
+    line: int
+    reason: Optional[str]
+    used: bool = False
+
+
+class ModuleSource:
+    """One file under analysis: text, lines and AST, parsed once."""
+
+    def __init__(self, relpath: str, text: str, injected: bool = False) -> None:
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=relpath)
+        #: synthetic module planted by ``--inject-violation``
+        self.injected = injected
+        self.pragmas: List[Pragma] = self._parse_pragmas()
+
+    @property
+    def display_path(self) -> str:
+        return f"{self.relpath}::injected" if self.injected else self.relpath
+
+    def _parse_pragmas(self) -> List[Pragma]:
+        pragmas = []
+        for i, line in enumerate(self.lines, start=1):
+            match = PRAGMA_RE.search(line)
+            if match:
+                pragmas.append(
+                    Pragma(rule=match.group("rule"), line=i,
+                           reason=match.group("reason"))
+                )
+        return pragmas
+
+    def pragma_for(self, rule: str, line: int) -> Optional[Pragma]:
+        """The pragma suppressing ``rule`` at ``line``, if any.
+
+        A pragma applies to its own line, and — when it sits on a
+        comment-only line — to the line directly below it.
+        """
+        for pragma in self.pragmas:
+            if pragma.rule != rule:
+                continue
+            if pragma.line == line:
+                return pragma
+            if (
+                pragma.line == line - 1
+                and self.lines[pragma.line - 1].lstrip().startswith("#")
+            ):
+                return pragma
+        return None
+
+
+class Rule:
+    """Base class for one domain check.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    instances are stateless so one object serves every module.
+    """
+
+    #: stable kebab-case identifier (used in pragmas and ``--rule``)
+    id: str = ""
+    #: one-line headline for the rule catalogue
+    title: str = ""
+    #: what the rule guards and why (docs / ``--json`` output)
+    description: str = ""
+    #: ``(relpath, source)`` that must fire the rule (self-check input);
+    #: the relpath must fall inside the rule's own scope
+    example_violation: Tuple[str, str] = ("", "")
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by rule implementations -------------------------------
+
+    def finding(self, module: ModuleSource, line: int, message: str) -> Finding:
+        return Finding(rule=self.id, path=module.display_path, line=line,
+                       message=message)
+
+
+#: the global rule registry, id -> instance (populated by ``rules/``)
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and register one rule."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, Pragma]] = field(default_factory=list)
+    files: int = 0
+    rules: Tuple[str, ...] = ()
+
+
+def iter_package_files(package_root: Path) -> Iterable[Tuple[str, Path]]:
+    """Yield ``(relpath, path)`` for every analyzable file of the package.
+
+    ``relpath`` is posix and rooted at the package name
+    (``repro/…``) so findings and the committed baseline are
+    independent of where the repository is checked out.
+    """
+    for path in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(package_root.parent).as_posix()
+        yield rel, path
+
+
+class Analyzer:
+    """Walks the package, runs rules, applies suppressions."""
+
+    def __init__(
+        self,
+        package_root: Optional[Path] = None,
+        rule_ids: Optional[Sequence[str]] = None,
+    ) -> None:
+        if package_root is None:
+            import repro
+
+            package_root = Path(repro.__file__).resolve().parent
+        self.package_root = package_root
+        if rule_ids is not None:
+            unknown = sorted(set(rule_ids) - set(RULES))
+            if unknown:
+                raise KeyError(
+                    f"unknown rule id(s) {', '.join(unknown)}; "
+                    f"known: {', '.join(sorted(RULES))}"
+                )
+            self.rules = [RULES[r] for r in sorted(rule_ids)]
+        else:
+            self.rules = [RULES[r] for r in sorted(RULES)]
+
+    # -- module loading ----------------------------------------------------------
+
+    def _modules(
+        self, extra: Sequence[ModuleSource] = ()
+    ) -> List[ModuleSource]:
+        modules = [
+            ModuleSource(rel, path.read_text())
+            for rel, path in iter_package_files(self.package_root)
+            # the analyzer never analyzes itself: rule sources carry
+            # deliberately-violating example snippets as string literals
+            # and fixture text that would confuse textual scanners
+            if not rel.startswith("repro/analysis/")
+        ]
+        modules.extend(extra)
+        return modules
+
+    def modules(self) -> List[ModuleSource]:
+        """The parsed package tree (no extras) — for external audits."""
+        return self._modules()
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self, extra: Sequence[ModuleSource] = ()) -> AnalysisResult:
+        result = AnalysisResult(rules=tuple(rule.id for rule in self.rules))
+        modules = self._modules(extra)
+        result.files = len(modules)
+        for module in modules:
+            raw: List[Finding] = []
+            for rule in self.rules:
+                raw.extend(rule.check(module))
+            for finding in raw:
+                pragma = module.pragma_for(finding.rule, finding.line)
+                if pragma is None:
+                    result.findings.append(finding)
+                elif not pragma.reason:
+                    pragma.used = True
+                    result.findings.append(
+                        Finding(
+                            rule=META_MALFORMED,
+                            path=module.display_path,
+                            line=pragma.line,
+                            message=(
+                                f"allow[{finding.rule}] pragma has no "
+                                "'-- reason'; suppressions must say why"
+                            ),
+                        )
+                    )
+                else:
+                    pragma.used = True
+                    result.suppressed.append((finding, pragma))
+            # A pragma that suppressed nothing is stale — the code it
+            # excused changed, or the rule id is misspelt.  Only report
+            # staleness for rules this run actually executed.
+            for pragma in module.pragmas:
+                if not pragma.used and pragma.rule in {
+                    rule.id for rule in self.rules
+                }:
+                    result.findings.append(
+                        Finding(
+                            rule=META_UNUSED,
+                            path=module.display_path,
+                            line=pragma.line,
+                            message=(
+                                f"allow[{pragma.rule}] pragma suppresses "
+                                "nothing; remove it or fix the rule id"
+                            ),
+                        )
+                    )
+        result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return result
+
+
+def injected_module(rule_id: str) -> ModuleSource:
+    """The synthetic module ``--inject-violation`` plants for one rule."""
+    rule = RULES[rule_id]
+    relpath, source = rule.example_violation
+    if not relpath:
+        raise ValueError(f"rule {rule_id!r} declares no example violation")
+    return ModuleSource(relpath, source, injected=True)
+
+
+# -- shared AST utilities ---------------------------------------------------------
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The trailing name of a call target: ``a.b.c(…)`` -> ``c``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def first_str_arg(node: ast.Call) -> Optional[str]:
+    """The first positional argument when it is a string literal."""
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+def walk_functions(tree: ast.AST) -> Iterable[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,170 @@
+"""Reporters and baseline handling for the static analyzer.
+
+Text output is for humans at a terminal; JSON output is for CI
+artifacts and tooling.  The **baseline** (``analysis-baseline.json`` at
+the repository root) is the set of findings the tree is *allowed* to
+have: ``--check`` fails on drift in either direction — a new finding
+not in the baseline (a regression) or a baseline entry that no longer
+fires (stale debt that must be deleted, so the baseline only ever
+shrinks).  The shipped baseline is empty: the tree is clean and must
+stay clean.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import AnalysisResult, Finding, RULES
+
+BASELINE_VERSION = 1
+
+
+def default_baseline_path() -> Path:
+    """``analysis-baseline.json`` next to ``pyproject.toml``.
+
+    Resolved from the installed package location (``src/repro`` layout),
+    so the analyzer works from any working directory.
+    """
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / "analysis-baseline.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> List[dict]:
+    path = path or default_baseline_path()
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    return list(data.get("findings", []))
+
+
+@dataclass
+class CheckOutcome:
+    """``--check`` verdict: new findings and stale baseline entries."""
+
+    new: List[Finding] = field(default_factory=list)
+    stale: List[dict] = field(default_factory=list)
+    tolerated: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def check_against_baseline(
+    result: AnalysisResult, baseline: List[dict]
+) -> CheckOutcome:
+    """Split findings into new / tolerated; detect stale baseline debt."""
+    outcome = CheckOutcome()
+    known = {entry["fingerprint"] for entry in baseline}
+    seen = set()
+    for finding in result.findings:
+        if finding.fingerprint in known:
+            outcome.tolerated.append(finding)
+            seen.add(finding.fingerprint)
+        else:
+            outcome.new.append(finding)
+    outcome.stale = [e for e in baseline if e["fingerprint"] not in seen]
+    return outcome
+
+
+# -- rendering --------------------------------------------------------------------
+
+
+def render_text(
+    result: AnalysisResult, outcome: Optional[CheckOutcome] = None
+) -> str:
+    lines: List[str] = []
+    findings = outcome.new if outcome is not None else result.findings
+    for finding in findings:
+        lines.append(finding.render())
+    if outcome is not None:
+        for finding in outcome.tolerated:
+            lines.append(f"{finding.render()}  (baselined)")
+        for entry in outcome.stale:
+            lines.append(
+                f"stale baseline entry no longer fires: "
+                f"{entry['fingerprint']} — delete it from the baseline"
+            )
+    lines.append(
+        f"{result.files} files · {len(result.rules)} rules · "
+        f"{len(findings)} finding(s) · {len(result.suppressed)} suppressed"
+    )
+    if result.suppressed:
+        lines.append("suppressions in effect:")
+        for finding, pragma in result.suppressed:
+            lines.append(
+                f"  {finding.path}:{finding.line} allow[{finding.rule}] "
+                f"-- {pragma.reason}"
+            )
+    return "\n".join(lines)
+
+
+def render_json(
+    result: AnalysisResult, outcome: Optional[CheckOutcome] = None
+) -> str:
+    payload = {
+        "version": BASELINE_VERSION,
+        "files": result.files,
+        "rules": [
+            {
+                "id": rule_id,
+                "title": RULES[rule_id].title,
+                "description": RULES[rule_id].description,
+            }
+            for rule_id in result.rules
+            if rule_id in RULES
+        ],
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in result.findings
+        ],
+        "suppressed": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "reason": p.reason,
+            }
+            for f, p in result.suppressed
+        ],
+    }
+    if outcome is not None:
+        payload["check"] = {
+            "clean": outcome.clean,
+            "new": [f.fingerprint for f in outcome.new],
+            "tolerated": [f.fingerprint for f in outcome.tolerated],
+            "stale": [e["fingerprint"] for e in outcome.stale],
+        }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def render_baseline(result: AnalysisResult) -> str:
+    """A fresh baseline file accepting the current findings as debt."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

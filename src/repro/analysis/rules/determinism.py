@@ -1,0 +1,151 @@
+"""determinism: ban ambient nondeterminism outside the wall-capture sites.
+
+Every oracle in this repository — byte-identical chaos digests, replay-
+identical breaker schedules, the conformance explorer's schedule cache —
+rests on the simulation being a pure function of its seed.  One stray
+``time.time()`` or ``random.random()`` breaks all of them at once, and
+does so silently: the run still "works", it just stops being evidence.
+
+Banned everywhere in ``repro/``:
+
+* stdlib ``random`` and ``secrets`` (any import): entropy must come from
+  the seeded, forkable :class:`repro.crypto.random_source.RandomSource`;
+* ``os.urandom`` calls;
+* ``datetime.now`` / ``utcnow`` / ``today`` and ``uuid.uuid4`` calls;
+* iterating a set expression (``for x in {…}`` / ``set(…)`` /
+  comprehension generators): set order is salted per process, so the
+  iteration order — and anything derived from it — varies between runs;
+  iterate ``sorted(…)`` instead;
+* wall-clock reads (``time.time``, ``perf_counter*``, ``monotonic*``,
+  ``process_time*``) — except in the two allowlisted wall-capture files
+  (``obs/trace.py``, ``harness/profiling.py``), where the companion
+  ``virtual-time`` rule takes over and checks the *gating*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: the only files allowed to touch the host clock at all; the
+#: virtual-time rule owns what happens inside them
+WALL_CAPTURE_FILES = ("repro/obs/trace.py", "repro/harness/profiling.py")
+
+WALL_READS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+BANNED_CALLS = {
+    "os.urandom": "use the platform's seeded RandomSource",
+    "datetime.now": "use the virtual clock (sim.timing.get_context)",
+    "datetime.utcnow": "use the virtual clock (sim.timing.get_context)",
+    "datetime.today": "use the virtual clock (sim.timing.get_context)",
+    "datetime.datetime.now": "use the virtual clock",
+    "datetime.datetime.utcnow": "use the virtual clock",
+    "uuid.uuid4": "derive ids from the seeded RandomSource",
+}
+
+BANNED_MODULES = {
+    "random": "stdlib random is unseeded ambient state; use "
+              "repro.crypto.random_source.RandomSource",
+    "secrets": "secrets reads os.urandom; use the seeded RandomSource",
+}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    title = "no ambient nondeterminism (wall clocks, entropy, set order)"
+    description = (
+        "Bans time.*/random/os.urandom/datetime.now/uuid4 and iteration "
+        "over set expressions everywhere in repro/, except wall-clock "
+        "reads inside the allowlisted wall-capture files obs/trace.py "
+        "and harness/profiling.py (policed by the virtual-time rule)."
+    )
+    example_violation = (
+        "repro/sim/_injected_determinism.py",
+        "import time\n"
+        "def stamp(record):\n"
+        "    record.t = time.time()\n",
+    )
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        findings: List[Finding] = []
+        wall_exempt = module.relpath in WALL_CAPTURE_FILES
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in BANNED_MODULES:
+                        findings.append(self.finding(
+                            module, node.lineno,
+                            f"import of {root!r}: {BANNED_MODULES[root]}",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in BANNED_MODULES:
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        f"import from {root!r}: {BANNED_MODULES[root]}",
+                    ))
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                if name in WALL_READS and not wall_exempt:
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        f"wall-clock read {name}() outside the allowlisted "
+                        "wall-capture sites; use the virtual clock",
+                    ))
+                elif name in BANNED_CALLS:
+                    findings.append(self.finding(
+                        module, node.lineno,
+                        f"nondeterministic call {name}(): "
+                        f"{BANNED_CALLS[name]}",
+                    ))
+
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                       ast.DictComp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    findings.append(self.finding(
+                        module, it.lineno,
+                        "iteration over a set expression: set order is "
+                        "salted per process; iterate sorted(…) instead",
+                    ))
+        return findings

@@ -1,0 +1,88 @@
+"""fail-closed: no except clause may silently swallow an exception.
+
+The access-control argument requires every error path to *fail closed*:
+an exception on the command path must either propagate (``raise``),
+terminate the path with a well-formed response (``return`` /
+``continue`` / ``break`` out of the frame loop), or be converted into
+an explicit action — an audit append, a counter, a fallback call.  A
+handler whose body does none of those (the classic ``except X: pass``)
+turns a security-relevant failure into silence, exactly the sloppy
+error path SvTPM catalogues as a key-leak precursor.
+
+Scope: the packages that sit on the trusted command path —
+``core/``, ``vtpm/``, ``cluster/``, ``resilience/`` — plus the attack
+harness ``attacks/`` (whose *deliberate* swallows must carry a pragma
+saying so, which is the point).
+
+Heuristic: the handler body must contain at least one ``raise``,
+``return``, ``continue``, ``break`` or function call (nested anywhere).
+Recording the failure counts as handling it; renaming it into a local
+variable does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, ModuleSource, Rule, register
+
+SCOPE_PREFIXES = (
+    "repro/core/",
+    "repro/vtpm/",
+    "repro/cluster/",
+    "repro/resilience/",
+    "repro/attacks/",
+)
+
+_HANDLING = (ast.Raise, ast.Return, ast.Continue, ast.Break, ast.Call)
+
+
+def _handler_acts(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, _HANDLING):
+                return True
+    return False
+
+
+def _exc_label(handler: ast.ExceptHandler) -> str:
+    if handler.type is None:
+        return "bare except"
+    return f"except {ast.unparse(handler.type)}"
+
+
+@register
+class FailClosedRule(Rule):
+    id = "fail-closed"
+    title = "except clauses on the trusted path must not swallow exceptions"
+    description = (
+        "An except handler in core/, vtpm/, cluster/, resilience/ or "
+        "attacks/ must re-raise, return a well-formed response, or take "
+        "an explicit action (audit append, counter, fallback call); "
+        "silent swallows need an allow[fail-closed] pragma with a reason."
+    )
+    example_violation = (
+        "repro/core/_injected_fail_closed.py",
+        "def handle(frame):\n"
+        "    try:\n"
+        "        frame.dispatch()\n"
+        "    except ValueError:\n"
+        "        pass\n",
+    )
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        if not module.relpath.startswith(SCOPE_PREFIXES):
+            return []
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and not _handler_acts(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        f"{_exc_label(node)} swallows the exception without "
+                        "re-raising, returning, or taking any action",
+                    )
+                )
+        return findings

@@ -1,0 +1,109 @@
+"""virtual-time: wall-clock reads only behind explicit wall gates.
+
+The determinism rule bans host-clock reads everywhere *except* the two
+declared wall-capture files; this rule polices the inside of those
+files.  Wall capture is **sink-declared** (``wants_wall``): when no
+attached sink asks for host timestamps, the span machinery must not pay
+for — or observe — the host clock at all.  Concretely, every
+``time.perf_counter*`` / ``time.time*`` call inside a wall-capture file
+must sit under a conditional (``if`` statement or ``x if cond else y``
+expression) whose test mentions a wall flag (``wall`` / ``_wall`` /
+``wants_wall``).
+
+The wall-clock *profiler* (``harness/profiling.py``) reads the host
+clock unconditionally by design — that is the instrument's purpose —
+and carries per-line ``allow[virtual-time]`` pragmas saying so, which
+doubles as the living example of the suppression workflow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.core import Finding, ModuleSource, Rule, dotted_name, \
+    register
+from repro.analysis.rules.determinism import WALL_CAPTURE_FILES, WALL_READS
+
+WALL_FLAG_MARKERS = ("wall",)
+
+
+def _test_mentions_wall(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and any(
+            marker in name.lower() for marker in WALL_FLAG_MARKERS
+        ):
+            return True
+    return False
+
+
+class _GateVisitor(ast.NodeVisitor):
+    """Finds wall reads and whether a wall-flag conditional encloses them."""
+
+    def __init__(self) -> None:
+        self.gated_depth = 0
+        self.violations: List[int] = []
+
+    # -- gates ------------------------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        self._visit_gate(node.test, node.body + node.orelse)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._visit_gate(node.test, [node.body, node.orelse])
+
+    def _visit_gate(self, test: ast.expr, children) -> None:
+        self.visit(test)
+        if _test_mentions_wall(test):
+            self.gated_depth += 1
+            for child in children:
+                self.visit(child)
+            self.gated_depth -= 1
+        else:
+            for child in children:
+                self.visit(child)
+
+    # -- the reads ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name in WALL_READS and self.gated_depth == 0:
+            self.violations.append(node.lineno)
+        self.generic_visit(node)
+
+
+@register
+class VirtualTimeRule(Rule):
+    id = "virtual-time"
+    title = "wall reads in wall-capture files must sit behind wall gates"
+    description = (
+        "Inside the allowlisted wall-capture files (obs/trace.py, "
+        "harness/profiling.py), every host-clock read must be guarded by "
+        "a conditional on a wall flag (wall/_wall/wants_wall), so runs "
+        "whose sinks decline wall capture never touch the host clock."
+    )
+    example_violation = (
+        "repro/obs/trace.py",
+        "import time\n"
+        "def stamp(span):\n"
+        "    span.start_wall_ns = time.perf_counter_ns()\n",
+    )
+
+    def check(self, module: ModuleSource) -> List[Finding]:
+        if module.relpath not in WALL_CAPTURE_FILES:
+            return []
+        visitor = _GateVisitor()
+        visitor.visit(module.tree)
+        return [
+            self.finding(
+                module, lineno,
+                "ungated wall-clock read: guard it with the wall flag "
+                "(wants_wall) or carry an allow[virtual-time] pragma",
+            )
+            for lineno in visitor.violations
+        ]

@@ -21,6 +21,13 @@ Subcommands:
   replayable JSON repro, and replay repros (``--replay FILE``).  The
   ``--inject-bug cache-epoch`` self-check plants a known authz bug and
   succeeds only if the explorer catches and shrinks it.
+* ``analyze`` — the domain-specific static analyzer: walk the package
+  through the AST rule catalogue (fail-closed, determinism,
+  secret-flow, audit-on-deny, counter-registry, virtual-time), honour
+  ``# repro: allow[rule-id] -- reason`` pragmas, and with ``--check``
+  diff against the committed ``analysis-baseline.json`` (CI gate).
+  ``--inject-violation RULE`` plants that rule's example violation and
+  must make the run fail — the self-check that each rule can fire.
 * ``report`` — run the full evaluation and print a markdown report.
 
 ``chaos`` and ``experiment`` accept ``--trace PATH`` to stream every
@@ -615,6 +622,64 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        Analyzer,
+        check_against_baseline,
+        injected_module,
+        load_baseline,
+        render_baseline,
+        render_json,
+        render_text,
+    )
+    from repro.analysis.report import default_baseline_path
+
+    rule_ids = [args.rule] if args.rule else None
+    try:
+        analyzer = Analyzer(rule_ids=rule_ids)
+    except KeyError as exc:
+        print(f"analyze: {exc.args[0]}", file=sys.stderr)
+        return 2
+    extra = []
+    if args.inject_violation:
+        try:
+            extra.append(injected_module(args.inject_violation))
+        except KeyError:
+            from repro.analysis import RULES
+
+            print(
+                f"analyze: unknown rule id {args.inject_violation!r}; "
+                f"known: {', '.join(sorted(RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+    result = analyzer.run(extra=extra)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    if args.write_baseline:
+        baseline_path.write_text(render_baseline(result))
+        print(f"baseline written: {baseline_path} "
+              f"({len(result.findings)} finding(s) accepted as debt)")
+        return 0
+
+    outcome = None
+    if args.check:
+        outcome = check_against_baseline(result, load_baseline(baseline_path))
+
+    if args.json:
+        print(render_json(result, outcome), end="")
+    else:
+        print(render_text(result, outcome))
+
+    if outcome is not None:
+        return 0 if outcome.clean else 1
+    return 0 if not result.findings else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     _register_experiments()
     print("# vTPM access-control reproduction — evaluation report\n")
@@ -800,6 +865,32 @@ def build_parser() -> argparse.ArgumentParser:
                                "bug behind the test-only hook and require "
                                "the explorer to catch and shrink it")
     p_verify.set_defaults(fn=cmd_verify)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: fail-closed / determinism / secret-flow "
+             "lints over the whole package",
+    )
+    p_analyze.add_argument("--rule", metavar="ID", default=None,
+                           help="run one rule only (fail-closed, "
+                                "determinism, secret-flow, audit-on-deny, "
+                                "counter-registry, virtual-time)")
+    p_analyze.add_argument("--check", action="store_true",
+                           help="gate mode: exit 1 on any finding not in "
+                                "the committed baseline, or on stale "
+                                "baseline entries (CI uses this)")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="machine-readable findings report on stdout")
+    p_analyze.add_argument("--inject-violation", metavar="RULE", default=None,
+                           help="self-check: plant RULE's example violation "
+                                "into the walk; the run must then fail")
+    p_analyze.add_argument("--baseline", metavar="PATH", default=None,
+                           help="baseline file (default: "
+                                "analysis-baseline.json at the repo root)")
+    p_analyze.add_argument("--write-baseline", action="store_true",
+                           help="accept the current findings as debt and "
+                                "rewrite the baseline file")
+    p_analyze.set_defaults(fn=cmd_analyze)
 
     p_report = sub.add_parser("report", help="full evaluation as markdown")
     p_report.add_argument("--quick", action="store_true")

@@ -369,8 +369,12 @@ class Supervisor:
                 try:
                     self.manager.save_instance(record.instance_id)
                 except ReproError:
-                    pass  # a wedged flush loses nothing: restore uses the
-                    # last committed, generation-stamped checkpoint
+                    # A wedged flush loses nothing — restore uses the last
+                    # committed, generation-stamped checkpoint — but the
+                    # skipped checkpoint is counted so a restart that ran
+                    # from stale state is visible in the exposition.
+                    obs_counters.inc("resilience.checkpoint_skipped",
+                                     vm=vm.uuid)
                 self.manager.destroy_instance(record.instance_id,
                                               persist=False)
                 try:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import re
 from typing import Dict, Optional
 
+from repro.obs import counters as obs_counters
 from repro.util.errors import VtpmError
 from repro.vtpm.backend import VtpmBackend
 from repro.vtpm.frontend import VtpmFrontend
@@ -21,6 +22,9 @@ from repro.vtpm.manager import VtpmManager
 from repro.xen.hypervisor import Xen
 
 _DEVICE_RE = re.compile(r"^/local/domain/(\d+)/device/vtpm/0/(.+)$")
+
+#: teardown errors surfaced on the hotplug control loop's degraded path
+_HOTPLUG_ERROR = obs_counters.counter("vtpm.hotplug.error", op="disconnect")
 
 
 class VtpmHotplugAgent:
@@ -96,8 +100,14 @@ class VtpmHotplugAgent:
             return
         # The front-end already tore its ring down on close; just retire
         # the instance (persisting state, as xend's destroy path does).
+        # A teardown failure must not wedge the control loop — the guest
+        # is gone either way — but it is a degraded path, not a no-op:
+        # the audit chain records it and the error counter ticks, so a
+        # retire that silently lost state is distinguishable from a
+        # clean one.
         try:
             self.manager.destroy_instance(backend.instance_id, persist=True)
-        except VtpmError:
-            pass
+        except VtpmError as exc:
+            _HOTPLUG_ERROR.inc()
+            self.manager.monitor.on_fault(backend.instance_id, exc)
         self.disconnects += 1
